@@ -1,0 +1,32 @@
+"""Table 1: network topologies in the evaluation (nodes / edges).
+
+Regenerates the Table 1 rows at full size (construction only — no LP or
+training), and benchmarks graph construction to document that even the
+full-size ASN instance builds in milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import PAPER_SIZES, get_topology
+
+from conftest import print_series
+
+
+def test_table1_rows_full_size():
+    """Print the Table 1 rows and assert our generators match the paper."""
+    rows = [("topology", "nodes (paper)", "nodes (ours)", "edges (paper)", "edges (ours)")]
+    for name, (paper_nodes, paper_edges) in PAPER_SIZES.items():
+        topo = get_topology(name, scale=1.0)
+        rows.append((name, paper_nodes, topo.num_nodes, paper_edges, topo.num_edges))
+        assert topo.num_nodes == pytest.approx(paper_nodes, rel=0.02)
+        assert topo.num_edges == pytest.approx(paper_edges, rel=0.12)
+    print_series("Table 1: topology sizes", rows)
+
+
+@pytest.mark.parametrize("name", list(PAPER_SIZES))
+def test_topology_construction_speed(benchmark, name):
+    """Benchmark full-size topology construction."""
+    topo = benchmark(get_topology, name, 1.0)
+    assert topo.num_nodes >= 12

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Interpreting FlowGNN's learned flow embeddings (§5.8, Figure 16).
+
+Trains Teal on a SWAN-like scenario, extracts the per-path embeddings,
+projects them to 2-D with the library's numpy t-SNE, and checks whether
+"busy" paths (largest split ratio of their demand in the LP optimum)
+cluster together — the paper's evidence that FlowGNN encodes path
+congestion. Prints an ASCII scatter of the projection.
+
+Run:
+    python examples/embedding_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LpAll
+from repro.analysis import busy_path_labels, cluster_separation_score, tsne
+from repro.harness import build_scenario, trained_teal
+
+
+def ascii_scatter(coords: np.ndarray, labels: np.ndarray, size: int = 48) -> str:
+    """Render a 2-D scatter as text: '#' = busy path, '.' = other."""
+    lo = coords.min(axis=0)
+    hi = coords.max(axis=0)
+    span = np.maximum(hi - lo, 1e-9)
+    grid = [[" "] * size for _ in range(size // 2)]
+    for (x, y), busy in zip(coords, labels):
+        col = int((x - lo[0]) / span[0] * (size - 1))
+        row = int((y - lo[1]) / span[1] * (size // 2 - 1))
+        cell = grid[row][col]
+        mark = "#" if busy else "."
+        # Busy markers win ties so the cluster is visible.
+        if cell != "#":
+            grid[row][col] = mark
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    scenario = build_scenario("SWAN", train=24, validation=4, test=8)
+    teal = trained_teal(scenario)
+    matrix = scenario.split.test[0]
+    demands = scenario.demands(matrix)
+
+    embeddings = teal.model.flow_embeddings(demands, scenario.capacities)
+    lp = LpAll().allocate(scenario.pathset, demands)
+    labels = busy_path_labels(scenario.pathset, lp.split_ratios)
+    print(
+        f"{len(embeddings)} flow embeddings "
+        f"({int(labels.sum())} busy paths in the LP optimum)"
+    )
+
+    rng = np.random.default_rng(0)
+    keep = rng.choice(len(embeddings), size=min(350, len(embeddings)), replace=False)
+    coords = tsne(embeddings[keep], iterations=250, perplexity=25.0, seed=0)
+    score = cluster_separation_score(coords, labels[keep])
+    random_score = cluster_separation_score(coords, rng.permutation(labels[keep]))
+
+    print(f"busy-vs-rest separation score: {score:.3f}")
+    print(f"random-label baseline:         {random_score:.3f}")
+    print("\nt-SNE projection ('#' = busy path in LP optimum):\n")
+    print(ascii_scatter(coords, labels[keep]))
+
+
+if __name__ == "__main__":
+    main()

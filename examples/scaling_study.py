@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scaling study (§5.2, Figure 6): how compute time grows with WAN size.
+
+Sweeps the paper's topology ladder (SWAN -> UsCarrier -> Kdl -> ASN, at
+benchmark scale) and reports every scheme's mean computation time and
+offline satisfied demand — the CPU-budget rendition of Figure 6. Also
+prints each scheme's speedup over LP-all on the largest instance.
+
+Run:
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import (
+    build_scenario,
+    make_baselines,
+    run_offline_comparison,
+    trained_teal,
+)
+from repro.simulation.metrics import format_comparison_table, speedup
+
+TOPOLOGIES = ["SWAN", "UsCarrier", "Kdl", "ASN"]
+
+
+def main() -> None:
+    final_runs = None
+    for name in TOPOLOGIES:
+        scenario = build_scenario(name, train=24, validation=4, test=8)
+        schemes = dict(make_baselines(scenario))
+        schemes["Teal"] = trained_teal(scenario)
+        runs = run_offline_comparison(
+            scenario, schemes, matrices=scenario.split.test[:4]
+        )
+        print(
+            f"\n== {name}: {scenario.topology.num_nodes} nodes, "
+            f"{scenario.topology.num_edges} edges, "
+            f"{scenario.pathset.num_demands} demands =="
+        )
+        print(format_comparison_table(list(runs.values())))
+        final_runs = runs
+
+    print("\nspeedups over LP-all on the largest instance:")
+    for name, run in final_runs.items():
+        if name == "LP-all":
+            continue
+        print(f"  {name:>8}: {speedup(final_runs['LP-all'], run):6.1f}x")
+
+
+if __name__ == "__main__":
+    main()

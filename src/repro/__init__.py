@@ -1,0 +1,100 @@
+"""repro — reproduction of "Teal: Learning-Accelerated Optimization of WAN
+Traffic Engineering" (SIGCOMM 2023).
+
+Public API tour:
+
+- :mod:`repro.topology` — WAN graphs, the five evaluation topologies,
+  partitioning, link failures.
+- :mod:`repro.traffic` — calibrated synthetic traffic matrices/traces.
+- :mod:`repro.paths` — k-shortest candidate paths and incidence structures.
+- :mod:`repro.lp` — path-formulation LPs, objectives, HiGHS solving.
+- :mod:`repro.baselines` — LP-all, LP-top, NCFlow, POP, TEAVAR*.
+- :mod:`repro.nn` — the numpy autodiff/NN substrate.
+- :mod:`repro.core` — FlowGNN, multi-agent RL (COMA*), ADMM, Teal.
+- :mod:`repro.simulation` — feasible-flow evaluation and the online loop.
+- :mod:`repro.analysis` — t-SNE, embedding interpretation, solver scaling.
+- :mod:`repro.harness` — scenario builder used by benchmarks/examples.
+
+Quickstart::
+
+    from repro import build_scenario, trained_teal, run_offline_comparison
+    scenario = build_scenario("B4")
+    teal = trained_teal(scenario)
+    runs = run_offline_comparison(scenario, {"Teal": teal})
+    print(runs["Teal"].mean_satisfied)
+"""
+
+from .baselines import LpAll, LpTop, NCFlow, Pop, TeavarStar, TEScheme
+from .config import (
+    AdmmConfig,
+    TealHyperparameters,
+    TrainingConfig,
+)
+from .core import TealModel, TealScheme
+from .exceptions import (
+    ModelError,
+    PathError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TopologyError,
+    TrafficError,
+    TrainingError,
+)
+from .harness import (
+    Scenario,
+    build_scenario,
+    make_baselines,
+    run_offline_comparison,
+    trained_teal,
+)
+from .lp import get_objective
+from .paths import PathSet
+from .simulation import Allocation, OnlineSimulator, evaluate_allocation
+from .topology import Topology, get_topology
+from .traffic import TrafficMatrix, TrafficTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "TopologyError",
+    "TrafficError",
+    "PathError",
+    "SolverError",
+    "ModelError",
+    "TrainingError",
+    "SimulationError",
+    # config
+    "TealHyperparameters",
+    "AdmmConfig",
+    "TrainingConfig",
+    # substrates
+    "Topology",
+    "get_topology",
+    "TrafficMatrix",
+    "TrafficTrace",
+    "PathSet",
+    "get_objective",
+    # schemes
+    "TEScheme",
+    "LpAll",
+    "LpTop",
+    "NCFlow",
+    "Pop",
+    "TeavarStar",
+    "TealModel",
+    "TealScheme",
+    # evaluation
+    "Allocation",
+    "evaluate_allocation",
+    "OnlineSimulator",
+    # harness
+    "Scenario",
+    "build_scenario",
+    "make_baselines",
+    "trained_teal",
+    "run_offline_comparison",
+]

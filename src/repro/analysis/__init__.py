@@ -1,0 +1,21 @@
+"""Analysis tools: t-SNE, embedding interpretation, solver scaling."""
+
+from .embeddings import busy_path_labels, cluster_separation_score
+from .solver_scaling import (
+    calibrate_portfolio_sigma,
+    concurrent_lp_speedups,
+    measure_single_thread_time,
+    projected_solve_times,
+)
+from .tsne import kl_divergence, tsne
+
+__all__ = [
+    "tsne",
+    "kl_divergence",
+    "busy_path_labels",
+    "cluster_separation_score",
+    "measure_single_thread_time",
+    "calibrate_portfolio_sigma",
+    "concurrent_lp_speedups",
+    "projected_solve_times",
+]

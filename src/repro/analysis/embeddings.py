@@ -1,0 +1,69 @@
+"""Flow-embedding interpretation (§5.8, Figure 16).
+
+The paper color-codes each FlowGNN path embedding by whether the path is
+"busy" in the LP-all optimum — i.e. carries the largest split ratio among
+its demand's candidates — and shows that busy paths cluster in t-SNE
+space, evidence that FlowGNN encodes path congestion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..paths.pathset import PathSet
+
+
+def busy_path_labels(pathset: PathSet, split_ratios: np.ndarray) -> np.ndarray:
+    """(P,) booleans: path holds the largest split ratio of its demand.
+
+    Args:
+        pathset: The path set.
+        split_ratios: (D, k) reference allocation (LP-all in the paper).
+
+    Returns:
+        Boolean array over paths; demands with all-zero ratios contribute
+        no busy path.
+    """
+    ratios = np.asarray(split_ratios, dtype=float)
+    if ratios.shape != (pathset.num_demands, pathset.max_paths):
+        raise ReproError("split_ratios shape mismatch")
+    labels = np.zeros(pathset.num_paths, dtype=bool)
+    masked = np.where(pathset.path_mask, ratios, -np.inf)
+    best_slot = masked.argmax(axis=1)
+    row_max = masked[np.arange(pathset.num_demands), best_slot]
+    for d in range(pathset.num_demands):
+        if row_max[d] <= 0:
+            continue
+        pid = pathset.demand_path_ids[d, best_slot[d]]
+        if pid >= 0:
+            labels[pid] = True
+    return labels
+
+
+def cluster_separation_score(
+    coords: np.ndarray, labels: np.ndarray
+) -> float:
+    """How separated busy vs. non-busy points are in embedding space.
+
+    Computes the ratio of between-class centroid distance to mean
+    within-class spread (a crude silhouette-style score; > 0.5 indicates
+    a visible cluster as in Figure 16).
+
+    Args:
+        coords: (N, 2) t-SNE coordinates.
+        labels: (N,) booleans.
+
+    Raises:
+        ReproError: If one class is empty.
+    """
+    coords = np.asarray(coords, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    if labels.all() or (~labels).all():
+        raise ReproError("both classes must be non-empty")
+    a = coords[labels]
+    b = coords[~labels]
+    centroid_gap = float(np.linalg.norm(a.mean(axis=0) - b.mean(axis=0)))
+    spread_a = float(np.linalg.norm(a - a.mean(axis=0), axis=1).mean())
+    spread_b = float(np.linalg.norm(b - b.mean(axis=0), axis=1).mean())
+    return centroid_gap / max((spread_a + spread_b) / 2.0, 1e-12)

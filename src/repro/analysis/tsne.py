@@ -1,0 +1,132 @@
+"""t-SNE (t-distributed stochastic neighbor embedding) in numpy (§5.8).
+
+The paper visualizes FlowGNN's learned flow embeddings with t-SNE
+(Figure 16). Since no plotting/embedding library is available offline,
+this module implements standard t-SNE [van der Maaten & Hinton, 2008]:
+binary-search calibration of per-point bandwidths to a target
+perplexity, symmetrized affinities, Student-t low-dimensional kernel,
+and gradient descent with momentum and early exaggeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    """Dense squared Euclidean distance matrix."""
+    norms = (x * x).sum(axis=1)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tolerance: float = 1e-5
+) -> np.ndarray:
+    """Row-stochastic affinities with per-row perplexity calibration."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        row = distances[i].copy()
+        row[i] = np.inf
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        for _ in range(50):
+            logits = -row * beta
+            logits -= logits[np.isfinite(logits)].max()
+            weights = np.exp(logits)
+            weights[i] = 0.0
+            total = weights.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            probs = weights / total
+            positive = probs > 0
+            entropy = -np.sum(probs[positive] * np.log(probs[positive]))
+            error = entropy - target_entropy
+            if abs(error) < tolerance:
+                break
+            if error > 0:  # entropy too high -> sharpen
+                beta_lo = beta
+                beta = beta * 2 if np.isinf(beta_hi) else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo == 0 else (beta + beta_lo) / 2
+        p[i] = probs
+    return p
+
+
+def tsne(
+    embeddings: np.ndarray,
+    num_components: int = 2,
+    perplexity: float = 30.0,
+    iterations: int = 400,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+    early_exaggeration: float = 4.0,
+    exaggeration_iters: int = 100,
+) -> np.ndarray:
+    """Project embeddings to ``num_components`` dimensions with t-SNE.
+
+    Args:
+        embeddings: (N, F) input points.
+        num_components: Output dimensionality (2 for Figure 16).
+        perplexity: Effective neighborhood size (must be < N).
+        iterations: Gradient-descent steps.
+        learning_rate: Step size.
+        seed: Seed for the Gaussian initialization.
+        early_exaggeration: Affinity multiplier during the first phase.
+        exaggeration_iters: Length of the exaggeration phase.
+
+    Returns:
+        (N, num_components) low-dimensional coordinates.
+
+    Raises:
+        ReproError: If inputs are too small for the chosen perplexity.
+    """
+    x = np.asarray(embeddings, dtype=float)
+    if x.ndim != 2:
+        raise ReproError("embeddings must be a 2-D array")
+    n = x.shape[0]
+    if n < 5:
+        raise ReproError("t-SNE needs at least 5 points")
+    if perplexity >= n:
+        perplexity = max(2.0, (n - 1) / 3.0)
+
+    distances = _pairwise_squared_distances(x)
+    p_conditional = _conditional_probabilities(distances, perplexity)
+    p = (p_conditional + p_conditional.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(scale=1e-4, size=(n, num_components))
+    velocity = np.zeros_like(y)
+
+    for it in range(iterations):
+        exaggeration = early_exaggeration if it < exaggeration_iters else 1.0
+        d2 = _pairwise_squared_distances(y)
+        q_num = 1.0 / (1.0 + d2)
+        np.fill_diagonal(q_num, 0.0)
+        q = q_num / max(q_num.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        coeff = (exaggeration * p - q) * q_num
+        grad = 4.0 * (
+            np.diag(coeff.sum(axis=1)) @ y - coeff @ y
+        )
+        momentum = 0.5 if it < exaggeration_iters else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """KL(P || Q) for affinity matrices (a t-SNE quality diagnostic)."""
+    p = np.maximum(np.asarray(p, float), 1e-12)
+    q = np.maximum(np.asarray(q, float), 1e-12)
+    return float(np.sum(p * np.log(p / q)))

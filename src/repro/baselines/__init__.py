@@ -1,0 +1,21 @@
+"""Baseline TE schemes evaluated against Teal (§5.1)."""
+
+from .base import TEScheme
+from .ecmp import EqualSplit, ShortestPath
+from .lp_all import LpAll
+from .lp_top import LpTop
+from .ncflow import NCFlow, default_cluster_count
+from .pop import Pop
+from .teavar import TeavarStar
+
+__all__ = [
+    "TEScheme",
+    "LpAll",
+    "LpTop",
+    "NCFlow",
+    "Pop",
+    "TeavarStar",
+    "ShortestPath",
+    "EqualSplit",
+    "default_cluster_count",
+]

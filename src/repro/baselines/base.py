@@ -1,0 +1,59 @@
+"""Common interface for TE schemes (baselines and Teal).
+
+Every scheme consumes a :class:`~repro.paths.pathset.PathSet` plus the
+current demand vector (and optionally failure-adjusted capacities) and
+produces an :class:`~repro.simulation.evaluator.Allocation` whose
+``compute_time`` reflects the scheme's *parallel* wall-clock cost:
+schemes that solve independent subproblems concurrently in the paper
+(NCFlow's clusters, POP's replicas) charge the maximum subproblem time
+plus any serial merge time, matching Table 2's accounting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..lp.objectives import Objective, TotalFlowObjective
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import Allocation
+
+
+class TEScheme(ABC):
+    """A traffic-engineering scheme operating on the path formulation."""
+
+    #: Display name used in reports (matches the paper's legend).
+    name: str = "scheme"
+
+    def __init__(self, objective: Objective | None = None) -> None:
+        self.objective = objective if objective is not None else TotalFlowObjective()
+
+    @abstractmethod
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        """Compute split ratios for the given demands.
+
+        Args:
+            pathset: Precomputed candidate paths (fixed across intervals).
+            demands: (D,) demand volumes for this interval.
+            capacities: Per-edge capacities override (link failures);
+                defaults to the pathset topology's capacities.
+
+        Returns:
+            An :class:`Allocation` with timing metadata.
+        """
+
+    def _capacities(
+        self, pathset: PathSet, capacities: np.ndarray | None
+    ) -> np.ndarray:
+        if capacities is None:
+            return pathset.topology.capacities
+        return np.asarray(capacities, dtype=float)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(objective={self.objective.name!r})"

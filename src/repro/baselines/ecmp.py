@@ -1,0 +1,65 @@
+"""Shortest-path and equal-split reference baselines.
+
+Not schemes from the paper's comparison, but useful floors for any TE
+study on this library (and the implicit "pre-TE default" the online
+simulator deploys before the first allocation arrives):
+
+- :class:`ShortestPath` — every demand fully on its shortest candidate
+  path (what demand pinning does to the non-top demands).
+- :class:`EqualSplit` — ECMP-style uniform split across the candidate
+  paths, the classic protocol-native strawman.
+
+Both cost effectively zero computation, making them the extreme point
+of the run-time/quality tradeoff space the paper explores.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import Allocation
+from .base import TEScheme
+
+
+class ShortestPath(TEScheme):
+    """Route every demand entirely on its shortest candidate path."""
+
+    name = "ShortestPath"
+
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        start = time.perf_counter()
+        ratios = np.zeros((pathset.num_demands, pathset.max_paths))
+        ratios[:, 0] = 1.0
+        ratios = ratios * pathset.path_mask
+        elapsed = time.perf_counter() - start
+        return Allocation(
+            split_ratios=ratios, compute_time=elapsed, scheme=self.name
+        )
+
+
+class EqualSplit(TEScheme):
+    """ECMP-style equal split over all candidate paths of each demand."""
+
+    name = "EqualSplit"
+
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        start = time.perf_counter()
+        counts = pathset.path_mask.sum(axis=1, keepdims=True)
+        ratios = pathset.path_mask / np.maximum(counts, 1)
+        elapsed = time.perf_counter() - start
+        return Allocation(
+            split_ratios=ratios, compute_time=elapsed, scheme=self.name
+        )

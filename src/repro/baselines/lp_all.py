@@ -1,0 +1,57 @@
+"""LP-all: the exact LP baseline (§5.1).
+
+Solves the full path-formulation TE LP for *all* demands with the HiGHS
+solver (the paper uses Gurobi). Optimal but slowest — the production
+optimization engine Teal accelerates.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..lp.formulation import build_lp
+from ..lp.objectives import MinMaxLinkUtilizationObjective
+from ..lp.solver import solve_lp
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import Allocation
+from .base import TEScheme
+
+
+class LpAll(TEScheme):
+    """Solve the complete TE LP exactly (the paper's "LP-all")."""
+
+    name = "LP-all"
+
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        demands = np.asarray(demands, dtype=float)
+        capacities = self._capacities(pathset, capacities)
+        build_start = time.perf_counter()
+        program = build_lp(pathset, demands, self.objective, capacities)
+        build_time = time.perf_counter() - build_start
+        solution = solve_lp(program)
+        if isinstance(self.objective, MinMaxLinkUtilizationObjective):
+            # Normalize to ratios against the routed (equality) demands.
+            ratios = pathset.path_flows_to_split_ratios(solution.path_flows, demands)
+        else:
+            ratios = np.clip(
+                pathset.path_flows_to_split_ratios(solution.path_flows, demands),
+                0.0,
+                1.0,
+            )
+        return Allocation(
+            split_ratios=ratios,
+            compute_time=solution.solve_time,
+            scheme=self.name,
+            extras={
+                "lp_iterations": solution.iterations,
+                "lp_objective": solution.objective_value,
+                "model_build_time": build_time,
+            },
+        )

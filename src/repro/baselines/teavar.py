@@ -1,0 +1,185 @@
+"""TEAVAR*: availability-aware TE [Bogle et al., SIGCOMM'19] (§5.1, §5.3).
+
+TEAVAR balances utilization against operator availability targets by
+optimizing over probabilistic link-failure scenarios; TEAVAR* is the
+NCFlow adaptation that maximizes total flow. The paper runs it only on
+B4 (Figure 8) because the scenario-expanded LP is expensive.
+
+Formulation used here (availability-shortfall form, after TEAVAR's CVaR
+program): one allocation ``x`` is deployed ahead of failures; in
+scenario ``s`` a path crossing a failed link delivers nothing. Each
+demand has an availability target ``beta``: its surviving allocation
+should be at least ``beta`` of its planned allocation, and any shortfall
+``u_{s,d}`` is penalized at the scenario's (amplified) probability:
+
+    max  sum_p x_p  -  lambda * sum_{s,d} p_s * u_{s,d}
+    s.t. sum_{p in P_d} x_p <= demand_d
+         sum_{p ∋ e} x_p <= capacity_e
+         beta * sum_{P_d} x_p - sum_{P_d} alive(p, s) x_p <= u_{s,d}
+         x, u >= 0
+
+Amplifying failure probabilities via ``availability_weight`` makes the
+plan avoid relying on failure-prone (shared-link) paths, which costs
+nominal utilization — TEAVAR*'s signature behaviour in Figure 8 — while
+degrading gracefully when links actually fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import SolverError
+from ..lp.formulation import LinearProgram, demand_constraint_matrix
+from ..lp.solver import solve_lp
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import Allocation
+from ..topology.failures import failure_scenarios
+from .base import TEScheme
+
+
+class TeavarStar(TEScheme):
+    """Scenario-based availability-aware TE (the paper's TEAVAR*).
+
+    Args:
+        objective: Flow-type objective (total flow in the paper).
+        failure_probability: Per-physical-link failure probability used to
+            weight scenarios.
+        availability_weight: Multiplier applied to failure-scenario
+            probabilities before renormalizing; >1 makes the plan more
+            conservative (higher availability, lower utilization).
+        max_scenarios: Cap on the number of scenarios included
+            (largest-probability first) to bound LP size.
+    """
+
+    name = "TEAVAR*"
+
+    def __init__(
+        self,
+        objective=None,
+        failure_probability: float = 0.01,
+        availability_weight: float = 10.0,
+        availability_target: float = 0.9,
+        shortfall_penalty: float = 5.0,
+        max_scenarios: int = 64,
+    ) -> None:
+        super().__init__(objective)
+        if availability_weight <= 0:
+            raise SolverError("availability_weight must be positive")
+        if not 0 < availability_target <= 1:
+            raise SolverError("availability_target must be in (0, 1]")
+        if shortfall_penalty <= 0:
+            raise SolverError("shortfall_penalty must be positive")
+        if max_scenarios < 1:
+            raise SolverError("max_scenarios must be >= 1")
+        self.failure_probability = failure_probability
+        self.availability_weight = availability_weight
+        self.availability_target = availability_target
+        self.shortfall_penalty = shortfall_penalty
+        self.max_scenarios = max_scenarios
+
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        demands = np.asarray(demands, dtype=float)
+        capacities = self._capacities(pathset, capacities)
+        scenarios = failure_scenarios(pathset.topology, self.failure_probability)
+        # Reweight failures upward (availability emphasis) and renormalize.
+        weighted = [
+            (w * (self.availability_weight if failed else 1.0), failed)
+            for w, failed in scenarios
+        ]
+        weighted.sort(key=lambda item: item[0], reverse=True)
+        weighted = weighted[: self.max_scenarios]
+        total_weight = sum(w for w, _ in weighted)
+        weighted = [(w / total_weight, failed) for w, failed in weighted]
+
+        program = self._build_program(pathset, demands, capacities, weighted)
+        solution = solve_lp(program)
+        ratios = np.clip(
+            pathset.path_flows_to_split_ratios(solution.path_flows, demands),
+            0.0,
+            1.0,
+        )
+        return Allocation(
+            split_ratios=ratios,
+            compute_time=solution.solve_time,
+            scheme=self.name,
+            extras={
+                "num_scenarios": len(weighted),
+                "lp_iterations": solution.iterations,
+            },
+        )
+
+    def _alive_mask(self, pathset: PathSet, failed: list[int]) -> np.ndarray:
+        """(P,) 1.0 for paths that avoid every failed edge in a scenario."""
+        alive = np.ones(pathset.num_paths)
+        if failed:
+            failed_set = set(failed)
+            for pid, edges in enumerate(pathset.path_edge_ids):
+                if any(int(e) in failed_set for e in edges):
+                    alive[pid] = 0.0
+        return alive
+
+    def _build_program(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        scenarios: list[tuple[float, list[int]]],
+    ) -> LinearProgram:
+        """Assemble the availability-shortfall LP over [x, u_1..u_S]."""
+        num_paths = pathset.num_paths
+        num_demands = pathset.num_demands
+        demand_rows = demand_constraint_matrix(pathset)
+        failure_scenarios_only = [
+            (prob, failed) for prob, failed in scenarios if failed
+        ]
+        num_s = len(failure_scenarios_only)
+        num_vars = num_paths + num_s * num_demands
+
+        def pad(block: sp.spmatrix, u_block: sp.spmatrix | None, s: int) -> sp.csr_matrix:
+            """Place an x-block and optionally a u_s block into full width."""
+            pieces = [block]
+            for j in range(num_s):
+                if u_block is not None and j == s:
+                    pieces.append(u_block)
+                else:
+                    pieces.append(
+                        sp.csr_matrix((block.shape[0], num_demands))
+                    )
+            return sp.hstack(pieces, format="csr")
+
+        blocks: list[sp.csr_matrix] = [
+            pad(demand_rows, None, -1),
+            pad(pathset.edge_path_incidence, None, -1),
+        ]
+        rhs: list[np.ndarray] = [demands, capacities]
+
+        cost = np.zeros(num_vars)
+        cost[:num_paths] = -1.0  # maximize planned flow
+        beta = self.availability_target
+        neg_identity = sp.identity(num_demands, format="csr") * -1.0
+        for s, (prob, failed) in enumerate(failure_scenarios_only):
+            alive = self._alive_mask(pathset, failed)
+            # beta * sum(x_d) - sum(alive * x_d) - u_sd <= 0
+            availability = demand_rows @ sp.diags(beta - alive)
+            blocks.append(pad(availability.tocsr(), neg_identity, s))
+            rhs.append(np.zeros(num_demands))
+            start = num_paths + s * num_demands
+            cost[start : start + num_demands] = (
+                self.shortfall_penalty * prob
+            )
+
+        return LinearProgram(
+            c=cost,
+            a_ub=sp.vstack(blocks, format="csr"),
+            b_ub=np.concatenate(rhs),
+            a_eq=None,
+            b_eq=None,
+            bounds=[(0.0, None)] * num_vars,
+            num_path_vars=num_paths,
+        )

@@ -1,0 +1,164 @@
+"""Command-line interface: run reproduction experiments from a shell.
+
+Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
+
+    teal-repro topologies                 # Table 1 / Table 3 rows
+    teal-repro compare --topology SWAN    # Figure 6-style comparison
+    teal-repro failures --topology B4     # Figure 8-style failure sweep
+    teal-repro train --topology B4        # train + report a Teal model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    from .topology import PAPER_SIZES, get_topology, topology_summary
+
+    print(f"{'name':<10} {'nodes':>7} {'edges':>7} {'avg path':>9} {'diameter':>9}")
+    for name in PAPER_SIZES:
+        topo = get_topology(name, scale=args.scale)
+        summary = topology_summary(topo)
+        print(
+            f"{name:<10} {summary['nodes']:>7.0f} {summary['edges']:>7.0f} "
+            f"{summary['avg_shortest_path']:>9.2f} {summary['diameter']:>9.0f}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .harness import (
+        build_scenario,
+        make_baselines,
+        run_offline_comparison,
+        trained_teal,
+    )
+    from .simulation.metrics import format_comparison_table
+
+    scenario = build_scenario(args.topology, scale=args.scale, seed=args.seed)
+    print(
+        f"scenario: {scenario.topology.name} "
+        f"({scenario.topology.num_nodes} nodes, "
+        f"{scenario.pathset.num_demands} demands)"
+    )
+    schemes = dict(make_baselines(scenario))
+    print("training Teal...")
+    schemes["Teal"] = trained_teal(scenario)
+    runs = run_offline_comparison(
+        scenario, schemes, matrices=scenario.split.test[: args.matrices]
+    )
+    print(format_comparison_table(list(runs.values())))
+    return 0
+
+
+def _cmd_failures(args: argparse.Namespace) -> int:
+    from .harness import (
+        build_scenario,
+        make_baselines,
+        run_offline_comparison,
+        trained_teal,
+    )
+    from .topology import sample_link_failures
+
+    scenario = build_scenario(args.topology, scale=args.scale, seed=args.seed)
+    schemes = dict(make_baselines(scenario))
+    print("training Teal...")
+    schemes["Teal"] = trained_teal(scenario)
+
+    print(f"{'failures':>9} | " + " | ".join(f"{n:>8}" for n in schemes))
+    for count in args.counts:
+        caps = scenario.capacities.copy()
+        if count:
+            failed = sample_link_failures(scenario.topology, count, seed=count)
+            caps[failed] = 0.0
+        runs = run_offline_comparison(
+            scenario,
+            schemes,
+            matrices=scenario.split.test[: args.matrices],
+            capacities=caps,
+        )
+        row = " | ".join(
+            f"{100 * runs[n].mean_satisfied:8.1f}" for n in schemes
+        )
+        print(f"{count:>9} | {row}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .config import TrainingConfig
+    from .harness import build_scenario, trained_teal
+
+    scenario = build_scenario(args.topology, scale=args.scale, seed=args.seed)
+    config = TrainingConfig(
+        steps=args.steps,
+        warm_start_steps=args.warm_start_steps,
+        log_every=max(1, args.steps // 4),
+    )
+    teal = trained_teal(scenario, config=config, use_cache=False)
+    demands = scenario.demands(scenario.split.test[0])
+    allocation = teal.allocate(scenario.pathset, demands)
+    from .simulation import evaluate_allocation
+
+    report = evaluate_allocation(
+        scenario.pathset, allocation.split_ratios, demands
+    )
+    print(
+        f"trained Teal on {scenario.topology.name}: "
+        f"satisfied {report.satisfied_fraction:.1%} on the first test "
+        f"matrix in {1000 * allocation.compute_time:.1f} ms"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="teal-repro",
+        description="Teal (SIGCOMM 2023) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topologies", help="print Table 1 / Table 3 rows")
+    p_topo.add_argument("--scale", type=float, default=1.0)
+    p_topo.set_defaults(func=_cmd_topologies)
+
+    p_cmp = sub.add_parser("compare", help="scheme comparison on one topology")
+    p_cmp.add_argument("--topology", default="SWAN")
+    p_cmp.add_argument("--scale", type=float, default=None)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--matrices", type=int, default=4)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fail = sub.add_parser("failures", help="link-failure sweep")
+    p_fail.add_argument("--topology", default="B4")
+    p_fail.add_argument("--scale", type=float, default=None)
+    p_fail.add_argument("--seed", type=int, default=0)
+    p_fail.add_argument("--matrices", type=int, default=3)
+    p_fail.add_argument(
+        "--counts", type=int, nargs="+", default=[0, 1, 2]
+    )
+    p_fail.set_defaults(func=_cmd_failures)
+
+    p_train = sub.add_parser("train", help="train a Teal model")
+    p_train.add_argument("--topology", default="B4")
+    p_train.add_argument("--scale", type=float, default=None)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--steps", type=int, default=60)
+    p_train.add_argument("--warm-start-steps", type=int, default=220)
+    p_train.set_defaults(func=_cmd_train)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

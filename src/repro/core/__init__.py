@@ -1,0 +1,43 @@
+"""Teal core: FlowGNN, multi-agent RL, ADMM, and the end-to-end scheme."""
+
+from .ablations import GlobalPolicyModel, NaiveDnnModel, NaiveGnnModel
+from .admm import AdmmFineTuner
+from .checkpoint import load_model, save_model, transfer_weights
+from .coma import ComaTrainer, DecomposableReward, TrainingHistory, masked_softmax_np
+from .direct_loss import (
+    DirectLossTrainer,
+    mlu_surrogate_loss,
+    model_path_flows,
+    surrogate_loss,
+)
+from .flowgnn import DemandDNNLayer, FlowGNN, FlowGNNLayer
+from .model import AllocatorModel, TealModel, grid_scatter_index
+from .policy import ActionHead, PolicyNetwork
+from .teal import TealScheme
+
+__all__ = [
+    "FlowGNN",
+    "FlowGNNLayer",
+    "DemandDNNLayer",
+    "ActionHead",
+    "PolicyNetwork",
+    "AllocatorModel",
+    "TealModel",
+    "grid_scatter_index",
+    "ComaTrainer",
+    "DecomposableReward",
+    "TrainingHistory",
+    "masked_softmax_np",
+    "DirectLossTrainer",
+    "surrogate_loss",
+    "mlu_surrogate_loss",
+    "model_path_flows",
+    "AdmmFineTuner",
+    "TealScheme",
+    "NaiveDnnModel",
+    "NaiveGnnModel",
+    "GlobalPolicyModel",
+    "save_model",
+    "load_model",
+    "transfer_weights",
+]

@@ -1,0 +1,256 @@
+"""ADMM fine-tuning of neural allocations (§3.4, Appendix C).
+
+The paper augments Teal's networks with 2-5 iterations of the
+alternating direction method of multipliers to repair capacity
+violations. Following Appendix C, the path-formulation LP is rewritten
+with auxiliary variables ``z_pe`` (one per path-edge incidence) and
+slacks ``s1_d`` (demand constraints), ``s3_e`` (capacity constraints):
+
+    min  -sum_p value_p * d_p * F_p
+    s.t. G1_d:  sum_{p in P_d} F_p + s1_d - 1      = 0
+         G3_e:  sum_{p ∋ e} z_pe + s3_e - c_e      = 0
+         G4_pe: F_p * d_p - z_pe                   = 0
+         F, s1, s3 >= 0
+
+Each ADMM iteration minimizes the augmented Lagrangian blockwise. Both
+the F-block (per demand, ≤k variables) and the z-block (per edge)
+reduce to rank-1-plus-diagonal linear systems solved in closed form via
+Sherman-Morrison — every demand/edge independently, which is the
+parallelism §3.4 highlights; here it appears as flat numpy vector math
+over all demands/edges at once. The F >= 0 bound is enforced by
+projection after each F-step (standard practice for box constraints in
+ADMM fine-tuners).
+
+Warm-starting from the network output is essential: §3.4 notes randomly
+initialized ADMM would need far more iterations (benchmarked in
+``benchmarks/bench_fig14_ablations.py``).
+
+Primal *and dual* warm starts are used: ``lam1`` is initialized so that a
+feasible allocation is a fixed point of the first F-update (otherwise the
+first iteration performs unconstrained flow maximization and destroys the
+warm start). Later iterations may transiently trade small capacity
+violations for higher flow while the capacity duals ``lam3`` build up —
+the deployed pipeline (:class:`repro.core.teal.TealScheme`) guards this
+with an objective acceptance check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AdmmConfig
+from ..exceptions import ModelError
+from ..paths.pathset import PathSet
+
+_EPS = 1e-9
+
+
+@dataclass
+class _AdmmStructures:
+    """Static index structures shared by every ADMM run on a pathset."""
+
+    pair_path: np.ndarray  # (I,) path id of each (path, edge) incidence
+    pair_edge: np.ndarray  # (I,) edge id of each incidence
+    hops: np.ndarray  # (P,) edges per path (n_p)
+    paths_per_edge: np.ndarray  # (E,) paths per edge (m_e)
+    num_paths: int
+    num_edges: int
+    num_demands: int
+    path_demand: np.ndarray  # (P,)
+
+
+def _build_structures(pathset: PathSet) -> _AdmmStructures:
+    coo = pathset.edge_path_incidence.tocoo()
+    return _AdmmStructures(
+        pair_path=coo.col.astype(np.int64),
+        pair_edge=coo.row.astype(np.int64),
+        hops=pathset.path_hop_counts.astype(float),
+        paths_per_edge=np.asarray(
+            pathset.edge_path_incidence.sum(axis=1)
+        ).reshape(-1),
+        num_paths=pathset.num_paths,
+        num_edges=pathset.topology.num_edges,
+        num_demands=pathset.num_demands,
+        path_demand=pathset.path_demand,
+    )
+
+
+class AdmmFineTuner:
+    """Runs warm-started ADMM iterations on an allocation (§3.4).
+
+    Args:
+        pathset: The path set (fixes the constraint structure).
+        config: Iteration count and penalty coefficient; the default picks
+            the paper's 2 (<100 nodes) or 5 iterations automatically.
+        path_values: Optional per-path per-unit-flow objective weights
+            (1 for total flow; the delay-penalized weights otherwise).
+    """
+
+    def __init__(
+        self,
+        pathset: PathSet,
+        config: AdmmConfig | None = None,
+        path_values: np.ndarray | None = None,
+    ) -> None:
+        self.pathset = pathset
+        self.config = config if config is not None else AdmmConfig()
+        self.structures = _build_structures(pathset)
+        if path_values is None:
+            path_values = np.ones(pathset.num_paths)
+        path_values = np.asarray(path_values, dtype=float)
+        if path_values.shape != (pathset.num_paths,):
+            raise ModelError("path_values shape mismatch")
+        self.path_values = path_values
+        self.iterations = self.config.resolve_iterations(
+            pathset.topology.num_nodes
+        )
+
+    def fine_tune(
+        self,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+        iterations: int | None = None,
+    ) -> np.ndarray:
+        """Fine-tune split ratios toward feasibility and higher objective.
+
+        Args:
+            split_ratios: (D, k) warm-start ratios (e.g. model output).
+            demands: (D,) demand volumes.
+            capacities: (E,) capacities; defaults to the topology's.
+            iterations: Override the configured iteration count.
+
+        Returns:
+            (D, k) fine-tuned split ratios (clipped to the simplex box).
+        """
+        s = self.structures
+        demands = np.asarray(demands, dtype=float)
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        capacities = np.asarray(capacities, dtype=float)
+        iters = self.iterations if iterations is None else int(iterations)
+        if iters <= 0:
+            return np.clip(split_ratios, 0.0, 1.0)
+
+        # Normalize volumes so rho is scale-free.
+        scale = max(float(capacities[capacities > 0].mean()) if (capacities > 0).any() else 1.0, _EPS)
+        d_norm = demands / scale
+        c_norm = capacities / scale
+        rho = self.config.rho
+
+        d_p = d_norm[s.path_demand]  # (P,) demand volume per path
+        w_p = self.path_values
+        a = np.maximum(d_p * d_p * s.hops, _EPS)  # (P,) diagonal of F-system
+
+        # Warm start (Appendix C: iterates warm-started by the policy).
+        F = np.clip(np.asarray(split_ratios, dtype=float), 0.0, 1.0)
+        F_flat = np.zeros(s.num_paths)
+        valid = self.pathset.path_mask
+        F_flat[self.pathset.demand_path_ids[valid]] = F[valid]
+        z = (F_flat * d_p)[s.pair_path]  # z_pe = F_p * d_p
+        sum_z = np.bincount(s.pair_edge, weights=z, minlength=s.num_edges)
+        s1 = np.maximum(
+            0.0,
+            1.0 - np.bincount(s.path_demand, weights=F_flat, minlength=s.num_demands),
+        )
+        s3 = np.maximum(0.0, c_norm - sum_z)
+        # Dual warm start via complementary slackness: lam1_d estimates the
+        # marginal value of demand d's constraint. Saturated edges carry a
+        # unit congestion price; a demand's marginal value is its best
+        # path's value net of congestion prices. Demands whose every path
+        # crosses saturated links get lam1 ~ 0, freeing the F-update to
+        # *reduce* their over-allocation (the behaviour softmax outputs
+        # need most), while uncongested demands keep the stationarity
+        # pressure that preserves good warm starts.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            warm_util = np.where(
+                c_norm > 0,
+                sum_z / np.maximum(c_norm, _EPS),
+                np.where(sum_z > _EPS, np.inf, 0.0),
+            )
+        congestion_price = (warm_util > 1.0).astype(float)
+        path_price = np.bincount(
+            s.pair_path, weights=congestion_price[s.pair_edge], minlength=s.num_paths
+        )
+        reduced_value = np.maximum(0.0, self.path_values - path_price)
+        best_reduced = np.zeros(s.num_demands)
+        np.maximum.at(best_reduced, s.path_demand, reduced_value)
+        demand_volume = np.zeros(s.num_demands)
+        np.maximum.at(demand_volume, s.path_demand, d_p)
+        lam1 = demand_volume * best_reduced
+        lam3 = np.zeros(s.num_edges)
+        lam4 = np.zeros(len(s.pair_path))
+
+        for _ in range(iters):
+            # ---- F-update: per-demand rank-1 + diagonal system ---------
+            lam4_per_path = np.bincount(
+                s.pair_path, weights=lam4, minlength=s.num_paths
+            )
+            z_per_path = np.bincount(s.pair_path, weights=z, minlength=s.num_paths)
+            b = (
+                d_p * w_p
+                - lam1[s.path_demand]
+                - d_p * lam4_per_path
+                + rho * (1.0 - s1[s.path_demand])
+                + rho * d_p * z_per_path
+            )
+            inv_a = 1.0 / a
+            sum_b_over_a = np.bincount(
+                s.path_demand, weights=b * inv_a, minlength=s.num_demands
+            )
+            sum_inv_a = np.bincount(
+                s.path_demand, weights=inv_a, minlength=s.num_demands
+            )
+            correction = sum_b_over_a / (1.0 + sum_inv_a)
+            F_flat = (inv_a / rho) * (b - correction[s.path_demand])
+            F_flat = np.clip(F_flat, 0.0, 1.0)
+
+            # ---- z-update: per-edge rank-1 + identity system ------------
+            beta = (
+                -lam3[s.pair_edge]
+                + lam4
+                + rho * (c_norm - s3)[s.pair_edge]
+                + rho * (F_flat * d_p)[s.pair_path]
+            )
+            sum_beta = np.bincount(
+                s.pair_edge, weights=beta, minlength=s.num_edges
+            )
+            z = (beta - (sum_beta / (1.0 + s.paths_per_edge))[s.pair_edge]) / rho
+
+            # ---- s-updates (non-negative slacks) -------------------------
+            sum_F = np.bincount(
+                s.path_demand, weights=F_flat, minlength=s.num_demands
+            )
+            sum_z = np.bincount(s.pair_edge, weights=z, minlength=s.num_edges)
+            s1 = np.maximum(0.0, (1.0 - sum_F) - lam1 / rho)
+            s3 = np.maximum(0.0, (c_norm - sum_z) - lam3 / rho)
+
+            # ---- dual updates -------------------------------------------
+            lam1 += rho * (sum_F + s1 - 1.0)
+            lam3 += rho * (sum_z + s3 - c_norm)
+            lam4 += rho * ((F_flat * d_p)[s.pair_path] - z)
+
+        ratios = np.zeros_like(F)
+        ratios[valid] = F_flat[self.pathset.demand_path_ids[valid]]
+        ratios = np.clip(ratios, 0.0, 1.0)
+        sums = ratios.sum(axis=1, keepdims=True)
+        over = sums > 1.0
+        ratios = np.where(over, ratios / np.maximum(sums, _EPS), ratios)
+        return ratios
+
+    def constraint_violation(
+        self,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> float:
+        """Total capacity overshoot of an allocation (diagnostic)."""
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        flows = self.pathset.split_ratios_to_path_flows(
+            np.clip(split_ratios, 0.0, 1.0), np.asarray(demands, float)
+        )
+        loads = self.pathset.edge_loads(flows)
+        return float(np.maximum(loads - capacities, 0.0).sum())

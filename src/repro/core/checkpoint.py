@@ -1,0 +1,131 @@
+"""Model checkpointing and cross-topology weight transfer (§4).
+
+The paper trains one Teal model per topology (~a week) and *retrains*
+in 6-10 hours when the topology permanently changes. Retraining is
+cheap precisely because every learnable tensor in Teal is
+topology-size agnostic: FlowGNN layer weights depend only on embedding
+widths, and the shared policy depends only on (k x embedding_dim) —
+so the old weights warm-start the new topology's model directly.
+
+This module provides:
+
+- :func:`save_model` / :func:`load_model` — ``.npz`` checkpoints holding
+  every parameter plus an architecture fingerprint, validated on load.
+- :func:`transfer_weights` — copy parameters between models built on
+  *different* path sets but identical architectures (the §4 retraining
+  warm start; demonstrated in ``tests/test_checkpoint.py`` and the
+  retraining example).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .model import AllocatorModel, TealModel
+
+
+def _fingerprint(model: TealModel) -> dict[str, int]:
+    """Architecture descriptors that must match between checkpoints."""
+    return {
+        "num_gnn_layers": model.flow_gnn.num_layers,
+        "max_paths": model.pathset.max_paths,
+        "embedding_dim": model.flow_gnn.embedding_dim,
+        "num_parameters": model.num_parameters(),
+    }
+
+
+def save_model(model: TealModel, path: str | Path) -> Path:
+    """Serialize a model's parameters and architecture to ``.npz``.
+
+    Args:
+        model: The trained model.
+        path: Destination file (``.npz`` appended if missing).
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload: dict[str, np.ndarray] = {
+        f"param_{i}": p.data for i, p in enumerate(model.parameters())
+    }
+    for key, value in _fingerprint(model).items():
+        payload[f"meta_{key}"] = np.array(value)
+    np.savez(path, **payload)
+    return path
+
+
+def load_model(model: TealModel, path: str | Path) -> TealModel:
+    """Load parameters saved by :func:`save_model` into ``model``.
+
+    The target model must be constructed with the same architecture
+    (layer count, path budget); the path set itself may differ in size —
+    that is the point of topology-agnostic weights.
+
+    Raises:
+        ModelError: On architecture mismatch or corrupt checkpoints.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as data:
+        expected = _fingerprint(model)
+        for key in ("num_gnn_layers", "max_paths", "embedding_dim"):
+            stored = int(data[f"meta_{key}"])
+            if stored != expected[key]:
+                raise ModelError(
+                    f"checkpoint {key}={stored} does not match model "
+                    f"{key}={expected[key]}"
+                )
+        params = model.parameters()
+        stored_count = int(data["meta_num_parameters"])
+        if stored_count != expected["num_parameters"]:
+            raise ModelError(
+                f"checkpoint holds {stored_count} parameters, model has "
+                f"{expected['num_parameters']}"
+            )
+        for i, p in enumerate(params):
+            arr = data[f"param_{i}"]
+            if arr.shape != p.data.shape:
+                raise ModelError(
+                    f"parameter {i}: checkpoint shape {arr.shape} != "
+                    f"model shape {p.data.shape}"
+                )
+            p.data = arr.copy()
+    return model
+
+
+def transfer_weights(source: AllocatorModel, target: AllocatorModel) -> int:
+    """Copy parameters from ``source`` into ``target`` (same architecture).
+
+    Both models may be built on different path sets (different
+    topologies or demand sets); only the parameter list must align
+    shape-for-shape — which holds for TealModels sharing hyperparameters,
+    because no weight's shape depends on the topology size (§3.2-§3.3).
+
+    Returns:
+        The number of parameters copied.
+
+    Raises:
+        ModelError: If the parameter lists do not align.
+    """
+    src = source.parameters()
+    dst = target.parameters()
+    if len(src) != len(dst):
+        raise ModelError(
+            f"models have {len(src)} vs {len(dst)} parameters; "
+            "architectures differ"
+        )
+    for i, (a, b) in enumerate(zip(src, dst)):
+        if a.data.shape != b.data.shape:
+            raise ModelError(
+                f"parameter {i}: shapes {a.data.shape} vs {b.data.shape} "
+                "differ; architectures are incompatible"
+            )
+    for a, b in zip(src, dst):
+        b.data = a.data.copy()
+    return len(dst)

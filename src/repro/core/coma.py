@@ -1,0 +1,333 @@
+"""COMA*: the paper's one-step counterfactual multi-agent RL (§3.3, App. B).
+
+Each demand is an agent; all agents share the policy (and the FlowGNN
+feature extractor). Training is centralized: after all agents act, TE
+lets us *simulate* the joint allocation and compute the global objective
+as the reward. COMA* specializes COMA with two TE insights:
+
+1. **One-step returns** — allocations in one interval do not affect the
+   next, so the expected return is just the immediate reward.
+2. **Counterfactual advantage** — the advantage of agent ``i``'s action is
+   the reward difference against a baseline where only agent ``i``
+   re-samples its action (Equation 2), estimated with Monte-Carlo samples.
+
+Reward evaluation strategy: re-simulating the full network once per agent
+per sample is what the paper's GPU makes affordable; on CPU we exploit
+the reward's per-demand decomposition. Holding every other agent's
+intended flows fixed, only the utilizations along agent ``i``'s own paths
+change when it alters its action, so its delivered-value difference can
+be computed for *all agents simultaneously* with flat index arithmetic
+over the path-edge incidence pairs (the "mean-field incremental"
+evaluator below). ``exact_counterfactual=True`` switches to full
+re-simulation per agent — O(D) slower, used by the agreement tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import TrainingError
+from ..lp.objectives import (
+    MinMaxLinkUtilizationObjective,
+    Objective,
+    TotalFlowObjective,
+)
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import evaluate_allocation
+from ..traffic.matrix import TrafficMatrix
+from .model import TealModel
+
+_EPS = 1e-12
+
+
+def masked_softmax_np(logits: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Numpy masked softmax (mirrors the policy's tensor version)."""
+    shifted = np.where(mask, logits, -1e30)
+    shifted = shifted - shifted.max(axis=-1, keepdims=True)
+    exps = np.where(mask, np.exp(shifted), 0.0)
+    return exps / np.maximum(exps.sum(axis=-1, keepdims=True), _EPS)
+
+
+def sample_training_capacities(
+    pathset: PathSet,
+    capacities: np.ndarray,
+    config: TrainingConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Capacity vector for one training step, with failure augmentation.
+
+    With probability ``config.failure_rate``, zero the capacities of
+    1..``max_training_failures`` randomly sampled physical links so the
+    model sees failed-topology inputs during training (§5.3 robustness on
+    short training budgets; see TrainingConfig for the rationale).
+    """
+    if config.failure_rate <= 0 or rng.random() >= config.failure_rate:
+        return capacities
+    from ..topology.failures import sample_link_failures
+
+    num_failures = int(rng.integers(1, config.max_training_failures + 1))
+    failed = sample_link_failures(
+        pathset.topology, num_failures, seed=int(rng.integers(0, 2**31))
+    )
+    augmented = capacities.copy()
+    augmented[failed] = 0.0
+    return augmented
+
+
+class DecomposableReward:
+    """Per-demand reward values under the mean-field incremental model.
+
+    For flow-type objectives the joint reward decomposes as
+    ``R = sum_d V_d`` with ``V_d = sum_{p in P_d} w_p * f_p / max(1, u_p)``
+    where ``u_p`` is the bottleneck utilization of path ``p``. Changing
+    only demand ``d``'s flows perturbs the loads solely on its own paths'
+    edges, so ``V_d`` under the counterfactual is computable from the
+    residual loads of the other demands.
+
+    For min-MLU the per-demand value is the negated bottleneck
+    utilization over the demand's own edges (a local approximation of the
+    global max — adequate for advantage estimation, documented in
+    DESIGN.md §5).
+    """
+
+    def __init__(self, pathset: PathSet, objective: Objective) -> None:
+        self.pathset = pathset
+        self.objective = objective
+        self.is_mlu = isinstance(objective, MinMaxLinkUtilizationObjective)
+        if self.is_mlu:
+            self.path_values = np.ones(pathset.num_paths)
+        else:
+            self.path_values = objective.path_values(pathset)
+
+        coo = pathset.edge_path_incidence.tocoo()
+        self.pair_path = coo.col.astype(np.int64)
+        self.pair_edge = coo.row.astype(np.int64)
+        self.pair_demand = pathset.path_demand[self.pair_path]
+        # Group pairs sharing a (demand, edge) key so a demand's multiple
+        # paths crossing one edge pool their contribution.
+        keys = self.pair_demand * pathset.topology.num_edges + self.pair_edge
+        _, self.key_inverse = np.unique(keys, return_inverse=True)
+        self.num_keys = int(self.key_inverse.max()) + 1 if len(keys) else 0
+
+    def _own_edge_load(self, path_flows: np.ndarray) -> np.ndarray:
+        """(I,) per-incidence-pair load contributed by the pair's demand."""
+        pair_flows = path_flows[self.pair_path]
+        per_key = np.bincount(
+            self.key_inverse, weights=pair_flows, minlength=self.num_keys
+        )
+        return per_key[self.key_inverse]
+
+    def demand_values(
+        self,
+        base_flows: np.ndarray,
+        candidate_flows: np.ndarray,
+        capacities: np.ndarray,
+        base_loads: np.ndarray | None = None,
+        base_own: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """(D,) per-demand value if each demand alone used candidate_flows.
+
+        Args:
+            base_flows: (P,) intended flows of the joint action.
+            candidate_flows: (P,) intended flows under candidate actions
+                (each demand's counterfactual evaluated independently).
+            capacities: (E,) link capacities.
+            base_loads: Precomputed edge loads of base_flows (optional).
+            base_own: Precomputed own-load pairs of base_flows (optional).
+        """
+        ps = self.pathset
+        if base_loads is None:
+            base_loads = ps.edge_loads(base_flows)
+        if base_own is None:
+            base_own = self._own_edge_load(base_flows)
+        cand_own = self._own_edge_load(candidate_flows)
+        pair_load = base_loads[self.pair_edge] - base_own + cand_own
+        caps = capacities[self.pair_edge]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                caps > 0,
+                pair_load / np.maximum(caps, _EPS),
+                np.where(pair_load > _EPS, np.inf, 0.0),
+            )
+        bottleneck = np.zeros(ps.num_paths)
+        np.maximum.at(bottleneck, self.pair_path, util)
+
+        if self.is_mlu:
+            per_demand = np.zeros(ps.num_demands)
+            np.maximum.at(per_demand, ps.path_demand, bottleneck)
+            return -per_demand
+
+        scale = 1.0 / np.maximum(bottleneck, 1.0)
+        scale[~np.isfinite(scale)] = 0.0
+        delivered_value = candidate_flows * scale * self.path_values
+        per_demand = np.bincount(
+            ps.path_demand, weights=delivered_value, minlength=ps.num_demands
+        )
+        return per_demand
+
+    def exact_demand_values(
+        self,
+        base_ratios: np.ndarray,
+        candidate_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+    ) -> np.ndarray:
+        """Exact counterfactual values via full re-simulation (O(D) solves)."""
+        ps = self.pathset
+        values = np.zeros(ps.num_demands)
+        for d in range(ps.num_demands):
+            mixed = base_ratios.copy()
+            mixed[d] = candidate_ratios[d]
+            values[d] = self.objective.reward(ps, mixed, demands, capacities)
+        return values
+
+
+@dataclass
+class TrainingHistory:
+    """Per-logging-step training diagnostics."""
+
+    steps: list[int] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+    satisfied: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    def record(self, step: int, reward: float, satisfied: float, loss: float) -> None:
+        self.steps.append(step)
+        self.rewards.append(reward)
+        self.satisfied.append(satisfied)
+        self.losses.append(loss)
+
+
+class ComaTrainer:
+    """Trains a TealModel end to end with COMA* policy gradients.
+
+    Args:
+        model: The model to train (FlowGNN + policy).
+        objective: TE objective providing the reward.
+        config: Training budget and seeds.
+        counterfactual_samples: Monte-Carlo samples for the baseline
+            (Appendix B, Equation 2).
+        exact_counterfactual: Use full re-simulation for the baseline
+            (slow; for validation on small instances).
+    """
+
+    def __init__(
+        self,
+        model: TealModel,
+        objective: Objective | None = None,
+        config: TrainingConfig | None = None,
+        counterfactual_samples: int | None = None,
+        exact_counterfactual: bool = False,
+    ) -> None:
+        self.model = model
+        self.objective = objective if objective is not None else TotalFlowObjective()
+        self.config = config if config is not None else TrainingConfig()
+        self.samples = (
+            counterfactual_samples
+            if counterfactual_samples is not None
+            else model.hyper.counterfactual_samples
+        )
+        if self.samples < 1:
+            raise TrainingError("counterfactual_samples must be >= 1")
+        self.exact = exact_counterfactual
+        self.reward_model = DecomposableReward(model.pathset, self.objective)
+        self.optimizer = Adam(model.parameters(), lr=model.hyper.learning_rate)
+
+    def train(
+        self,
+        matrices: list[TrafficMatrix],
+        capacities: np.ndarray | None = None,
+        steps: int | None = None,
+    ) -> TrainingHistory:
+        """Run the COMA* training loop over a traffic trace.
+
+        Args:
+            matrices: Training traffic matrices (cycled through).
+            capacities: Link capacities (default: topology's).
+            steps: Override the configured step budget.
+
+        Returns:
+            A :class:`TrainingHistory` of rewards/losses.
+
+        Raises:
+            TrainingError: If the trace is empty.
+        """
+        if not matrices:
+            raise TrainingError("training requires at least one traffic matrix")
+        ps = self.model.pathset
+        if capacities is None:
+            capacities = ps.topology.capacities
+        capacities = np.asarray(capacities, dtype=float)
+        total_steps = self.config.steps if steps is None else int(steps)
+        rng = np.random.default_rng(self.config.seed)
+        mask = ps.path_mask
+        history = TrainingHistory()
+
+        for step in range(total_steps):
+            matrix = matrices[step % len(matrices)]
+            demands = ps.demand_volumes(matrix.values)
+            step_caps = sample_training_capacities(
+                ps, capacities, self.config, rng
+            )
+
+            logits = self.model.logits(demands, step_caps)
+            actions = self.model.policy.sample_actions(logits, rng)
+            ratios = masked_softmax_np(actions, mask)
+            base_flows = ps.split_ratios_to_path_flows(ratios, demands)
+            base_loads = ps.edge_loads(base_flows)
+            base_own = self.reward_model._own_edge_load(base_flows)
+
+            if self.exact:
+                base_values = np.full(
+                    ps.num_demands,
+                    self.objective.reward(ps, ratios, demands, step_caps),
+                )
+            else:
+                base_values = self.reward_model.demand_values(
+                    base_flows, base_flows, step_caps, base_loads, base_own
+                )
+
+            baseline = np.zeros(ps.num_demands)
+            for _ in range(self.samples):
+                alt_actions = self.model.policy.sample_actions(logits, rng)
+                alt_ratios = masked_softmax_np(alt_actions, mask)
+                if self.exact:
+                    baseline += self.reward_model.exact_demand_values(
+                        ratios, alt_ratios, demands, step_caps
+                    )
+                else:
+                    alt_flows = ps.split_ratios_to_path_flows(alt_ratios, demands)
+                    baseline += self.reward_model.demand_values(
+                        base_flows, alt_flows, step_caps, base_loads, base_own
+                    )
+            baseline /= self.samples
+            advantage = base_values - baseline
+            std = advantage.std()
+            if std > _EPS:
+                advantage = (advantage - advantage.mean()) / std
+
+            batch = self.config.batch_demands
+            if batch is not None and batch < ps.num_demands:
+                keep = rng.choice(ps.num_demands, size=batch, replace=False)
+                batch_mask = np.zeros(ps.num_demands)
+                batch_mask[keep] = 1.0
+                advantage = advantage * batch_mask
+
+            log_prob = self.model.policy.log_prob(logits, actions)
+            loss = -(Tensor(advantage) * log_prob).mean()
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+
+            if step % self.config.log_every == 0 or step == total_steps - 1:
+                greedy = masked_softmax_np(logits.numpy(), mask)
+                reward = self.objective.reward(ps, greedy, demands, capacities)
+                report = evaluate_allocation(ps, greedy, demands, capacities)
+                history.record(step, reward, report.satisfied_fraction, loss.item())
+        return history

@@ -1,0 +1,185 @@
+"""Direct loss minimization with surrogate objectives (§3.3, §5.7).
+
+The total feasible flow is non-differentiable (dropping overloaded
+traffic has zero gradient), so the paper defines a differentiable
+surrogate (Appendix A):
+
+    surrogate = sum_p f_p * w_p - sum_e max(0, load_e - capacity_e)
+
+i.e. the intended (pre-drop) flow value minus the total link overuse.
+Minimizing the negated surrogate through the model is "Teal w/ direct
+loss" in Figure 14 — a few percent worse than COMA* because of the
+approximation error — and also serves as a fast warm start before COMA*
+fine-tuning in this reproduction's training recipe.
+
+For the min-MLU objective (§5.5) the paper trains purely with RL; on
+this reproduction's CPU training budgets we additionally provide the
+standard p-norm smoothing of the max,
+
+    surrogate_mlu = ( sum_e (load_e / capacity_e)^p )^(1/p),   p = 8
+
+used only as a warm start before COMA* fine-tuning (a documented
+reproduction addition — the paper's point that surrogates are
+objective-specific design work stands).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import TrainingError
+from ..lp.objectives import (
+    MinMaxLinkUtilizationObjective,
+    Objective,
+    TotalFlowObjective,
+)
+from ..nn import functional as F
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from ..simulation.evaluator import evaluate_allocation
+from ..traffic.matrix import TrafficMatrix
+from .coma import TrainingHistory, sample_training_capacities
+from .model import AllocatorModel
+
+
+def model_path_flows(
+    model: AllocatorModel, demands: np.ndarray, capacities: np.ndarray
+) -> Tensor:
+    """Differentiable (P,) intended path flows from the model's ratios."""
+    ps = model.pathset
+    ratios = model(demands, capacities)  # (D, k), differentiable
+    demand_grid = demands[:, None] * ps.path_mask  # (D, k) volumes
+    flows_grid = ratios * Tensor(demand_grid)
+    flat = flows_grid.reshape(ps.num_demands * ps.max_paths, 1)
+    return F.take_rows(flat, model.scatter_index).reshape(ps.num_paths)
+
+
+def surrogate_loss(
+    model: AllocatorModel,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    path_values: np.ndarray,
+    overuse_weight: float = 1.0,
+) -> Tensor:
+    """Negated flow surrogate (Appendix A): overuse minus intended value.
+
+    Args:
+        model: The model (provides ratios differentiably).
+        demands: (D,) demand volumes.
+        capacities: (E,) link capacities.
+        path_values: (P,) per-unit-flow objective weights.
+        overuse_weight: Multiplier on the link-overuse penalty.
+
+    Returns:
+        Scalar loss tensor (lower is better).
+    """
+    ps = model.pathset
+    path_flows = model_path_flows(model, demands, capacities)
+    value = (path_flows * Tensor(path_values)).sum()
+    loads = F.sparse_matmul(
+        ps.edge_path_incidence, path_flows.reshape(ps.num_paths, 1)
+    ).reshape(ps.topology.num_edges)
+    overuse = F.relu(loads - Tensor(capacities)).sum()
+    scale = max(float(demands.sum()), 1e-9)
+    return (overuse * overuse_weight - value) / scale
+
+
+def mlu_surrogate_loss(
+    model: AllocatorModel,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    p: float = 8.0,
+) -> Tensor:
+    """p-norm smoothing of the max link utilization (warm start for MLU).
+
+    Failed (zero-capacity) links are excluded from the norm — their
+    utilization is handled by the feasibility semantics, not by MLU.
+    """
+    ps = model.pathset
+    path_flows = model_path_flows(model, demands, capacities)
+    loads = F.sparse_matmul(
+        ps.edge_path_incidence, path_flows.reshape(ps.num_paths, 1)
+    ).reshape(ps.topology.num_edges)
+    inverse_caps = np.where(capacities > 0, 1.0 / np.maximum(capacities, 1e-12), 0.0)
+    utilization = loads * Tensor(inverse_caps)
+    return ((utilization ** p).sum() + 1e-12) ** (1.0 / p)
+
+
+class DirectLossTrainer:
+    """Trains a model by minimizing a differentiable surrogate loss.
+
+    Args:
+        model: The model to train.
+        objective: TE objective. Flow-type objectives use the Appendix A
+            surrogate; min-MLU uses the p-norm smoothing.
+        config: Training budget.
+        overuse_weight: Penalty multiplier for capacity violations
+            (flow surrogate only).
+    """
+
+    def __init__(
+        self,
+        model: AllocatorModel,
+        objective: Objective | None = None,
+        config: TrainingConfig | None = None,
+        overuse_weight: float = 1.0,
+    ) -> None:
+        self.model = model
+        self.objective = objective if objective is not None else TotalFlowObjective()
+        self.config = config if config is not None else TrainingConfig()
+        self.is_mlu = isinstance(self.objective, MinMaxLinkUtilizationObjective)
+        if self.is_mlu:
+            self.path_values = None
+        else:
+            try:
+                self.path_values = self.objective.path_values(model.pathset)
+            except Exception as error:
+                raise TrainingError(
+                    "direct loss requires a flow-type objective with "
+                    f"per-path values or min-MLU; got {self.objective.name}"
+                ) from error
+        self.overuse_weight = overuse_weight
+        self.optimizer = Adam(model.parameters(), lr=model.hyper.learning_rate)
+
+    def _loss(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        if self.is_mlu:
+            return mlu_surrogate_loss(self.model, demands, capacities)
+        return surrogate_loss(
+            self.model, demands, capacities, self.path_values, self.overuse_weight
+        )
+
+    def train(
+        self,
+        matrices: list[TrafficMatrix],
+        capacities: np.ndarray | None = None,
+        steps: int | None = None,
+    ) -> TrainingHistory:
+        """Run gradient descent on the surrogate loss over a trace."""
+        if not matrices:
+            raise TrainingError("training requires at least one traffic matrix")
+        ps = self.model.pathset
+        if capacities is None:
+            capacities = ps.topology.capacities
+        capacities = np.asarray(capacities, dtype=float)
+        total_steps = self.config.steps if steps is None else int(steps)
+        history = TrainingHistory()
+        rng = np.random.default_rng(self.config.seed + 101)
+
+        for step in range(total_steps):
+            matrix = matrices[step % len(matrices)]
+            demands = ps.demand_volumes(matrix.values)
+            step_caps = sample_training_capacities(
+                ps, capacities, self.config, rng
+            )
+            loss = self._loss(demands, step_caps)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+
+            if step % self.config.log_every == 0 or step == total_steps - 1:
+                ratios = self.model.split_ratios(demands, capacities)
+                reward = self.objective.reward(ps, ratios, demands, capacities)
+                report = evaluate_allocation(ps, ratios, demands, capacities)
+                history.record(step, reward, report.satisfied_fraction, loss.item())
+        return history

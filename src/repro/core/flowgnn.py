@@ -1,0 +1,234 @@
+"""FlowGNN: the flow-centric graph neural network (§3.2, Figure 4).
+
+FlowGNN represents the *flow-related* entities of TE — edges and paths —
+as the nodes of a bipartite GNN:
+
+- an **EdgeNode** per directed link, initialized with the link capacity;
+- a **PathNode** per candidate path of each demand, initialized with the
+  demand volume (so the node represents a flow, not a physical path);
+- an EdgeNode and PathNode are adjacent iff the edge lies on the path.
+
+Each FlowGNN layer is a round of bipartite message passing (capturing
+capacity contention) followed by a per-demand DNN layer that jointly
+transforms the embeddings of the ≤4 PathNodes belonging to one demand
+(capturing the demand constraint). Per §4, the embedding dimension grows
+by one element per layer — re-appending the initialization value, the
+expressiveness trick of [Nair et al., 2020] — so 6 layers yield 6-element
+embeddings.
+
+All aggregation is a constant sparse matrix product (the edge-path
+incidence matrix), the numpy stand-in for the paper's GPU scatter ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ModelError
+from ..nn import functional as F
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor
+from ..paths.pathset import PathSet
+
+
+class FlowGNNLayer(Module):
+    """One bipartite message-passing round (GNN layer of Figure 4).
+
+    Args:
+        dim: Embedding width at this layer.
+        rng: Weight-init generator.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        self.dim = dim
+        # Each update sees [own embedding, aggregated neighbor embedding].
+        self.edge_update = Linear(2 * dim, dim, rng=rng)
+        self.path_update = Linear(2 * dim, dim, rng=rng)
+
+    def forward(
+        self,
+        edge_emb: Tensor,
+        path_emb: Tensor,
+        incidence: sp.csr_matrix,
+        incidence_t: sp.csr_matrix,
+        edge_scale: np.ndarray,
+        path_scale: np.ndarray,
+    ) -> tuple[Tensor, Tensor]:
+        """Run message passing and return updated (edge, path) embeddings.
+
+        Args:
+            edge_emb: (E, dim) EdgeNode embeddings.
+            path_emb: (P, dim) PathNode embeddings.
+            incidence: (E, P) edge-path incidence.
+            incidence_t: (P, E) transposed incidence.
+            edge_scale: (E, 1) 1/degree normalizer for edge aggregation.
+            path_scale: (P, 1) 1/degree normalizer for path aggregation.
+        """
+        # Paths -> edges: an edge aggregates the flows competing for it.
+        path_to_edge = F.sparse_matmul(incidence, path_emb) * Tensor(edge_scale)
+        new_edge = F.tanh(self.edge_update(F.concat([edge_emb, path_to_edge])))
+        # Edges -> paths: a path aggregates its (possibly bottleneck) links.
+        edge_to_path = F.sparse_matmul(incidence_t, new_edge) * Tensor(path_scale)
+        new_path = F.tanh(self.path_update(F.concat([path_emb, edge_to_path])))
+        return new_edge, new_path
+
+
+class DemandDNNLayer(Module):
+    """Per-demand coordination layer (DNN layer of Figure 4, §3.2).
+
+    Jointly transforms the embeddings of one demand's PathNodes so that
+    sibling flows (which a GNN layer cannot see — PathNodes are never
+    adjacent) become aware of each other. The same weights are shared by
+    every demand, keeping the layer topology-size agnostic.
+
+    Args:
+        dim: Per-path embedding width.
+        num_paths: Path slots per demand (k).
+        rng: Weight-init generator.
+    """
+
+    def __init__(self, dim: int, num_paths: int, rng: np.random.Generator) -> None:
+        self.dim = dim
+        self.num_paths = num_paths
+        self.transform = Linear(num_paths * dim, num_paths * dim, rng=rng)
+
+    def forward(
+        self,
+        path_emb: Tensor,
+        gather_index: np.ndarray,
+        scatter_index: np.ndarray,
+        valid_mask: np.ndarray,
+    ) -> Tensor:
+        """Update PathNode embeddings demand-by-demand.
+
+        Args:
+            path_emb: (P, dim) PathNode embeddings.
+            gather_index: (D, k) path ids with padding slots pointing at a
+                zero row appended at index P.
+            scatter_index: (P,) flat position of each real path inside the
+                (D, k) grid.
+            valid_mask: (D, k, 1) float mask, 0 at padding slots.
+
+        Returns:
+            Updated (P, dim) PathNode embeddings.
+        """
+        num_demands = gather_index.shape[0]
+        padded = F.concat([path_emb, Tensor(np.zeros((1, self.dim)))], axis=0)
+        grouped = F.take_rows(padded, gather_index)  # (D, k, dim)
+        flat = grouped.reshape(num_demands, self.num_paths * self.dim)
+        updated = F.tanh(self.transform(flat))
+        updated = updated.reshape(num_demands, self.num_paths, self.dim)
+        updated = updated * Tensor(valid_mask)
+        # Scatter the grid back to per-path rows.
+        grid = updated.reshape(num_demands * self.num_paths, self.dim)
+        return F.take_rows(grid, scatter_index)
+
+
+class FlowGNN(Module):
+    """The full FlowGNN stack: alternating GNN and DNN layers (§3.2, §4).
+
+    Args:
+        pathset: The path set defining the bipartite structure.
+        num_layers: Number of (GNN, DNN) layer pairs (paper: 6).
+        seed: Weight-init seed.
+
+    Raises:
+        ModelError: On invalid layer counts.
+    """
+
+    def __init__(self, pathset: PathSet, num_layers: int = 6, seed: int = 0) -> None:
+        if num_layers < 1:
+            raise ModelError("FlowGNN needs at least one layer")
+        self.pathset = pathset
+        self.num_layers = num_layers
+        rng = np.random.default_rng(seed)
+
+        self.incidence = pathset.edge_path_incidence.tocsr()
+        self.incidence_t = self.incidence.T.tocsr()
+        edge_degree = np.asarray(self.incidence.sum(axis=1)).reshape(-1, 1)
+        path_degree = np.asarray(self.incidence_t.sum(axis=1)).reshape(-1, 1)
+        self.edge_scale = 1.0 / np.maximum(edge_degree, 1.0)
+        self.path_scale = 1.0 / np.maximum(path_degree, 1.0)
+
+        # Gather/scatter indices for the per-demand DNN layers.
+        gather = pathset.demand_path_ids.copy()
+        gather[gather < 0] = pathset.num_paths  # zero row sentinel
+        self.gather_index = gather
+        positions = np.flatnonzero(pathset.demand_path_ids.reshape(-1) >= 0)
+        order = pathset.demand_path_ids.reshape(-1)[positions]
+        scatter = np.empty(pathset.num_paths, dtype=int)
+        scatter[order] = positions
+        self.scatter_index = scatter
+        self.valid_mask = pathset.path_mask.astype(float)[:, :, None]
+
+        # Layer dims grow 1, 2, ..., num_layers (§4 embedding growth).
+        self.gnn_layers = [
+            FlowGNNLayer(layer + 1, rng) for layer in range(num_layers)
+        ]
+        self.dnn_layers = [
+            DemandDNNLayer(layer + 1, pathset.max_paths, rng)
+            for layer in range(num_layers)
+        ]
+
+    @property
+    def embedding_dim(self) -> int:
+        """Width of the final PathNode embeddings."""
+        return self.num_layers
+
+    def forward(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        """Compute (P, embedding_dim) flow embeddings.
+
+        Args:
+            demands: (D,) demand volumes for this interval.
+            capacities: (E,) current link capacities (zero for failed links).
+
+        Returns:
+            PathNode embeddings encoding flows for the downstream policy.
+        """
+        demands = np.asarray(demands, dtype=float)
+        capacities = np.asarray(capacities, dtype=float)
+        pathset = self.pathset
+        if demands.shape != (pathset.num_demands,):
+            raise ModelError("demands shape mismatch")
+        if capacities.shape != (pathset.topology.num_edges,):
+            raise ModelError("capacities shape mismatch")
+
+        # Initialization (§3.2): EdgeNode <- capacity, PathNode <- demand
+        # volume, normalized to keep activations in range.
+        scale = max(float(capacities.mean()), 1e-9)
+        edge_init = (capacities / scale).reshape(-1, 1)
+        path_init = (demands[pathset.path_demand] / scale).reshape(-1, 1)
+
+        edge_emb = Tensor(edge_init)
+        path_emb = Tensor(path_init)
+        for layer in range(self.num_layers):
+            edge_emb, path_emb = self.gnn_layers[layer](
+                edge_emb,
+                path_emb,
+                self.incidence,
+                self.incidence_t,
+                self.edge_scale,
+                self.path_scale,
+            )
+            path_emb = self.dnn_layers[layer](
+                path_emb, self.gather_index, self.scatter_index, self.valid_mask
+            )
+            if layer < self.num_layers - 1:
+                # Embedding growth: re-append the initialization value.
+                edge_emb = F.concat([edge_emb, Tensor(edge_init)], axis=1)
+                path_emb = F.concat([path_emb, Tensor(path_init)], axis=1)
+        return path_emb
+
+    def grouped_embeddings(self, path_emb: Tensor) -> Tensor:
+        """Arrange path embeddings as (D, k * embedding_dim) policy inputs.
+
+        Padding slots contribute zeros.
+        """
+        dim = self.embedding_dim
+        padded = F.concat([path_emb, Tensor(np.zeros((1, dim)))], axis=0)
+        grouped = F.take_rows(padded, self.gather_index)
+        grouped = grouped * Tensor(self.valid_mask)
+        return grouped.reshape(
+            self.pathset.num_demands, self.pathset.max_paths * dim
+        )

@@ -1,0 +1,132 @@
+"""TealModel: FlowGNN + shared policy network, trained end to end (§3.3).
+
+The model maps (demands, capacities) to per-demand split ratios in a
+single forward pass — the fixed-flop inference that gives Teal its flat
+computation time (Figure 7a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TealHyperparameters
+from ..exceptions import ModelError
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+from ..paths.pathset import PathSet
+from .flowgnn import FlowGNN
+from .policy import PolicyNetwork
+
+
+def grid_scatter_index(pathset: PathSet) -> np.ndarray:
+    """(P,) flat position of each path inside the (D, k) ratio grid.
+
+    Shared by the models and the direct-loss trainer to move values
+    between per-path and per-demand-grid layouts.
+    """
+    flat_ids = pathset.demand_path_ids.reshape(-1)
+    positions = np.flatnonzero(flat_ids >= 0)
+    scatter = np.empty(pathset.num_paths, dtype=int)
+    scatter[flat_ids[positions]] = positions
+    return scatter
+
+
+class AllocatorModel(Module):
+    """Protocol base for models that output per-demand action logits.
+
+    Subclasses (TealModel and the Figure 14 ablation variants) provide
+    ``logits``; the base supplies the shared deployment conveniences so
+    trainers treat all variants uniformly.
+    """
+
+    pathset: PathSet
+    hyper: TealHyperparameters
+    policy: "PolicyNetwork"
+
+    def logits(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    @property
+    def scatter_index(self) -> np.ndarray:
+        """(P,) flat grid position of each path (cached)."""
+        cached = getattr(self, "_scatter_index", None)
+        if cached is None:
+            cached = grid_scatter_index(self.pathset)
+            self._scatter_index = cached
+        return cached
+
+    def forward(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        """Deterministic split ratios (D, k) — the deployment path."""
+        logits = self.logits(demands, capacities)
+        return self.policy.split_ratios(logits, self.pathset.path_mask)
+
+    def split_ratios(
+        self, demands: np.ndarray, capacities: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Numpy split ratios for deployment (no gradient bookkeeping)."""
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        return self.forward(demands, capacities).numpy()
+
+    def check_compatible(self, pathset: PathSet) -> None:
+        """Ensure a pathset matches the one the model was built around.
+
+        Raises:
+            ModelError: If shapes differ (retraining is required — §4).
+        """
+        if (
+            pathset.num_demands != self.pathset.num_demands
+            or pathset.num_paths != self.pathset.num_paths
+            or pathset.max_paths != self.pathset.max_paths
+        ):
+            raise ModelError(
+                "pathset incompatible with the trained model; Teal requires "
+                "retraining when the topology permanently changes (§4)"
+            )
+
+
+class TealModel(AllocatorModel):
+    """The end-to-end Teal model for one topology (§4 trains one per WAN).
+
+    Args:
+        pathset: Path set fixing the model's bipartite structure.
+        hyper: Architecture hyperparameters (defaults match §4).
+        num_policy_layers: Hidden layers in the policy net (Figure 15c).
+        seed: Weight-init seed.
+    """
+
+    def __init__(
+        self,
+        pathset: PathSet,
+        hyper: TealHyperparameters | None = None,
+        num_policy_layers: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.pathset = pathset
+        self.hyper = hyper if hyper is not None else TealHyperparameters()
+        self.flow_gnn = FlowGNN(
+            pathset, num_layers=self.hyper.num_gnn_layers, seed=seed
+        )
+        input_dim = pathset.max_paths * self.flow_gnn.embedding_dim
+        self.policy = PolicyNetwork(
+            input_dim=input_dim,
+            num_paths=pathset.max_paths,
+            hidden=self.hyper.policy_hidden,
+            num_hidden_layers=num_policy_layers,
+            action_log_std=self.hyper.action_log_std,
+            seed=seed + 1,
+        )
+
+    def logits(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        """Per-demand action logits (D, k)."""
+        embeddings = self.flow_gnn(demands, capacities)
+        features = self.flow_gnn.grouped_embeddings(embeddings)
+        return self.policy(features)
+
+    def flow_embeddings(
+        self, demands: np.ndarray, capacities: np.ndarray | None = None
+    ) -> np.ndarray:
+        """(P, embedding_dim) learned flow embeddings (for §5.8 analysis)."""
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        return self.flow_gnn(demands, capacities).numpy()

@@ -1,0 +1,223 @@
+"""Teal: the end-to-end learning-accelerated TE scheme (§3, §4).
+
+Deployment pipeline (Figure 3): traffic demands + link capacities →
+FlowGNN flow embeddings → shared policy network → split ratios → 2-5
+ADMM iterations → final allocation. One fixed-size forward pass plus a
+fixed number of ADMM iterations, which is why Teal's computation time is
+flat across traffic matrices (Figure 7a).
+
+Training recipe (this reproduction): optional direct-loss warm start
+(fast convergence on the surrogate) followed by COMA* fine-tuning on the
+true objective — mirroring the paper's offline training stage, scaled to
+CPU budgets (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..config import AdmmConfig, TealHyperparameters, TrainingConfig
+from ..exceptions import ModelError
+from ..lp.objectives import (
+    MinMaxLinkUtilizationObjective,
+    Objective,
+    TotalFlowObjective,
+)
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import Allocation
+from ..traffic.matrix import TrafficMatrix
+from .admm import AdmmFineTuner
+from .coma import ComaTrainer, TrainingHistory
+from .direct_loss import DirectLossTrainer
+from .model import TealModel
+from ..baselines.base import TEScheme
+
+
+class TealScheme(TEScheme):
+    """Teal as a drop-in TE scheme (same interface as the baselines).
+
+    Args:
+        pathset: Path set the model is built around (fixed per topology).
+        objective: TE objective; the reward for RL and the ADMM linear term.
+        hyper: Architecture hyperparameters (defaults: §4).
+        admm: ADMM configuration; per §5.5 ADMM is skipped for the MLU
+            objective unless explicitly enabled.
+        num_policy_layers: Policy hidden layers (Figure 15c).
+        seed: Weight-init seed.
+        use_admm: Force-enable/disable ADMM fine-tuning.
+    """
+
+    name = "Teal"
+
+    def __init__(
+        self,
+        pathset: PathSet,
+        objective: Objective | None = None,
+        hyper: TealHyperparameters | None = None,
+        admm: AdmmConfig | None = None,
+        num_policy_layers: int = 1,
+        seed: int = 0,
+        use_admm: bool | None = None,
+    ) -> None:
+        super().__init__(objective)
+        self.pathset = pathset
+        self.model = TealModel(
+            pathset, hyper=hyper, num_policy_layers=num_policy_layers, seed=seed
+        )
+        if use_admm is None:
+            # §5.5: "we opt to omit ADMM in these [MLU / delay] experiments"
+            # — the paper keeps ADMM only for the default total-flow runs.
+            use_admm = isinstance(self.objective, TotalFlowObjective)
+        self.use_admm = use_admm
+        path_values = None
+        if not isinstance(self.objective, MinMaxLinkUtilizationObjective):
+            path_values = self.objective.path_values(pathset)
+        self.admm = AdmmFineTuner(pathset, config=admm, path_values=path_values)
+        self.trained = False
+
+    # ------------------------------------------------------------------
+    # Training (offline stage)
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        matrices: list[TrafficMatrix],
+        capacities: np.ndarray | None = None,
+        config: TrainingConfig | None = None,
+    ) -> dict[str, TrainingHistory]:
+        """Train the model: direct-loss warm start, then COMA* (§3.3).
+
+        Args:
+            matrices: Training traffic matrices.
+            capacities: Link capacities during training.
+            config: Budget/seed configuration.
+
+        Returns:
+            Histories keyed by phase (``"warm_start"``, ``"coma"``).
+        """
+        config = config if config is not None else TrainingConfig()
+        histories: dict[str, TrainingHistory] = {}
+        warm_steps = config.warm_start_steps
+        if warm_steps > 0:
+            # Flow objectives warm-start on the Appendix A surrogate;
+            # min-MLU uses the p-norm smoothing (see core.direct_loss).
+            warm = DirectLossTrainer(self.model, self.objective, config)
+            histories["warm_start"] = warm.train(
+                matrices, capacities, steps=warm_steps
+            )
+        if config.steps > 0:
+            coma = ComaTrainer(self.model, self.objective, config)
+            histories["coma"] = coma.train(matrices, capacities)
+        self.trained = True
+        return histories
+
+    # ------------------------------------------------------------------
+    # Inference (online stage)
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        """One TE control step: forward pass + ADMM fine-tuning, timed.
+
+        ``pathset`` must be the one the model was built on (Teal retrains
+        for permanent topology changes, §4; transient failures enter via
+        ``capacities``).
+        """
+        self.model.check_compatible(pathset)
+        demands = np.asarray(demands, dtype=float)
+        capacities = self._capacities(pathset, capacities)
+
+        start = time.perf_counter()
+        ratios = self.model.split_ratios(demands, capacities)
+        forward_time = time.perf_counter() - start
+
+        admm_time = 0.0
+        if self.use_admm:
+            admm_start = time.perf_counter()
+            tuned = self.admm.fine_tune(ratios, demands, capacities)
+            # Acceptance check: ADMM is a fine-tuner, so the pipeline keeps
+            # whichever allocation scores higher on the objective (two
+            # sparse mat-vecs; preserves the paper's "ADMM strictly
+            # improves the deployed solution" property at low iteration
+            # counts, where raw ADMM iterates can transiently regress).
+            if self.objective.reward(
+                pathset, tuned, demands, capacities
+            ) >= self.objective.reward(pathset, ratios, demands, capacities):
+                ratios = tuned
+            admm_time = time.perf_counter() - admm_start
+
+        return Allocation(
+            split_ratios=ratios,
+            compute_time=forward_time + admm_time,
+            scheme=self.name,
+            extras={
+                "forward_time": forward_time,
+                "admm_time": admm_time,
+                "admm_iterations": self.admm.iterations if self.use_admm else 0,
+                "trained": self.trained,
+            },
+        )
+
+    def retrain_for(
+        self,
+        new_pathset: PathSet,
+        matrices: list[TrafficMatrix],
+        config: TrainingConfig | None = None,
+        seed: int = 0,
+    ) -> "TealScheme":
+        """Retrain for a permanently changed topology, warm-started (§4).
+
+        The paper retrains in 6-10 hours (vs ~a week from scratch) when a
+        node or link is added permanently. Because no Teal weight's shape
+        depends on the topology size, the old model warm-starts the new
+        one directly; only fine-tuning on the new topology remains.
+
+        Args:
+            new_pathset: Path set of the updated topology.
+            matrices: Training matrices sized for the new topology.
+            config: Fine-tuning budget (typically much smaller than the
+                from-scratch budget).
+            seed: Seed for the new scheme's construction.
+
+        Returns:
+            A new trained :class:`TealScheme` bound to ``new_pathset``.
+        """
+        from .checkpoint import transfer_weights
+
+        new_scheme = TealScheme(
+            new_pathset,
+            objective=self.objective,
+            hyper=self.model.hyper,
+            admm=self.admm.config,
+            seed=seed,
+            use_admm=self.use_admm,
+        )
+        transfer_weights(self.model, new_scheme.model)
+        if config is None:
+            config = TrainingConfig(steps=20, warm_start_steps=60, log_every=20)
+        new_scheme.train(matrices, config=config)
+        return new_scheme
+
+    def allocate_without_admm(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        """Raw model output ("Teal w/o ADMM" in Figure 14)."""
+        self.model.check_compatible(pathset)
+        demands = np.asarray(demands, dtype=float)
+        capacities = self._capacities(pathset, capacities)
+        start = time.perf_counter()
+        ratios = self.model.split_ratios(demands, capacities)
+        elapsed = time.perf_counter() - start
+        return Allocation(
+            split_ratios=ratios,
+            compute_time=elapsed,
+            scheme="Teal w/o ADMM",
+            extras={"trained": self.trained},
+        )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Teal reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed or an operation on it is invalid."""
+
+
+class TrafficError(ReproError):
+    """Raised when a traffic matrix or trace is malformed."""
+
+
+class PathError(ReproError):
+    """Raised when path computation or path-set construction fails."""
+
+
+class SolverError(ReproError):
+    """Raised when an LP solve fails or returns an unusable status."""
+
+
+class ModelError(ReproError):
+    """Raised when a neural model is misconfigured or used inconsistently."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training loop receives invalid inputs or diverges."""
+
+
+class SimulationError(ReproError):
+    """Raised when the online simulation harness is configured inconsistently."""

@@ -1,0 +1,38 @@
+"""LP substrate: path-formulation builders, objectives, HiGHS solver."""
+
+from .formulation import (
+    LinearProgram,
+    build_flow_lp,
+    build_lp,
+    build_mlu_lp,
+    build_restricted_flow_lp,
+    demand_constraint_matrix,
+)
+from .objectives import (
+    OBJECTIVES,
+    DelayPenalizedFlowObjective,
+    MinMaxLinkUtilizationObjective,
+    Objective,
+    TotalFlowObjective,
+    get_objective,
+)
+from .solver import LpSolution, lp_split_ratios, solve_lp, solve_te_lp
+
+__all__ = [
+    "LinearProgram",
+    "build_flow_lp",
+    "build_mlu_lp",
+    "build_lp",
+    "build_restricted_flow_lp",
+    "demand_constraint_matrix",
+    "Objective",
+    "TotalFlowObjective",
+    "MinMaxLinkUtilizationObjective",
+    "DelayPenalizedFlowObjective",
+    "OBJECTIVES",
+    "get_objective",
+    "LpSolution",
+    "solve_lp",
+    "solve_te_lp",
+    "lp_split_ratios",
+]

@@ -1,0 +1,231 @@
+"""Sparse LP builders for the path formulation of TE (Appendix A).
+
+Builds the constraint matrices of Equation (1) — and its MLU variant —
+directly from a :class:`~repro.paths.pathset.PathSet`'s incidence
+structures, as sparse CSR blocks ready for ``scipy.optimize.linprog``.
+
+Variables are path flows ``x_p >= 0`` (absolute volume, not ratios):
+
+- total-flow / delay-penalized:  max  v^T x
+      s.t.  sum_{p in P_d} x_p <= demand_d      (demand rows)
+            sum_{p ∋ e} x_p <= capacity_e       (edge rows)
+- min-MLU:  variables [x; t],  min t
+      s.t.  sum_{p in P_d} x_p  = demand_d      (route everything)
+            sum_{p ∋ e} x_p - capacity_e * t <= 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import SolverError
+from ..paths.pathset import PathSet
+from .objectives import MinMaxLinkUtilizationObjective, Objective
+
+
+@dataclass(frozen=True)
+class LinearProgram:
+    """A linear program in scipy's ``linprog`` form (minimization).
+
+    Attributes:
+        c: Cost vector.
+        a_ub: Sparse inequality matrix (``a_ub @ x <= b_ub``), or None.
+        b_ub: Inequality right-hand side.
+        a_eq: Sparse equality matrix, or None.
+        b_eq: Equality right-hand side.
+        bounds: Per-variable (low, high) bounds.
+        num_path_vars: Leading variables that are path flows (the rest are
+            auxiliaries such as the MLU variable ``t``).
+    """
+
+    c: np.ndarray
+    a_ub: sp.csr_matrix | None
+    b_ub: np.ndarray | None
+    a_eq: sp.csr_matrix | None
+    b_eq: np.ndarray | None
+    bounds: list[tuple[float, float | None]]
+    num_path_vars: int
+
+
+def demand_constraint_matrix(pathset: PathSet) -> sp.csr_matrix:
+    """(D, P) matrix summing path flows per demand."""
+    rows = pathset.path_demand
+    cols = np.arange(pathset.num_paths)
+    data = np.ones(pathset.num_paths)
+    return sp.csr_matrix(
+        (data, (rows, cols)), shape=(pathset.num_demands, pathset.num_paths)
+    )
+
+
+def build_flow_lp(
+    pathset: PathSet,
+    demands: np.ndarray,
+    objective: Objective,
+    capacities: np.ndarray | None = None,
+    demand_subset: np.ndarray | None = None,
+) -> LinearProgram:
+    """Build the maximization LP for a flow-type objective.
+
+    Args:
+        pathset: Path set with incidence structures.
+        demands: (D,) demand volumes.
+        objective: A flow-type objective providing ``path_values``.
+        capacities: Per-edge capacities (default: topology's).
+        demand_subset: Optional demand ids to include; excluded demands get
+            zero-volume rows (their paths are still capacity-constrained
+            to zero via the demand row). Used by LP-top and POP.
+
+    Returns:
+        A :class:`LinearProgram` (minimization of the negated objective).
+    """
+    demands = np.asarray(demands, dtype=float)
+    if demands.shape != (pathset.num_demands,):
+        raise SolverError("demands shape mismatch")
+    if capacities is None:
+        capacities = pathset.topology.capacities
+    capacities = np.asarray(capacities, dtype=float)
+
+    effective = demands.copy()
+    if demand_subset is not None:
+        mask = np.zeros(pathset.num_demands, dtype=bool)
+        mask[np.asarray(demand_subset, dtype=int)] = True
+        effective = np.where(mask, effective, 0.0)
+
+    values = objective.path_values(pathset)
+    a_ub = sp.vstack(
+        [demand_constraint_matrix(pathset), pathset.edge_path_incidence],
+        format="csr",
+    )
+    b_ub = np.concatenate([effective, capacities])
+    return LinearProgram(
+        c=-values,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=None,
+        b_eq=None,
+        bounds=[(0.0, None)] * pathset.num_paths,
+        num_path_vars=pathset.num_paths,
+    )
+
+
+def build_mlu_lp(
+    pathset: PathSet,
+    demands: np.ndarray,
+    capacities: np.ndarray | None = None,
+) -> LinearProgram:
+    """Build the min-MLU LP (§5.5): route all demand, minimize max utilization."""
+    demands = np.asarray(demands, dtype=float)
+    if demands.shape != (pathset.num_demands,):
+        raise SolverError("demands shape mismatch")
+    if capacities is None:
+        capacities = pathset.topology.capacities
+    capacities = np.asarray(capacities, dtype=float)
+    if (capacities <= 0).any():
+        # Zero-capacity (failed) links cannot appear in an MLU denominator;
+        # treat them as epsilon capacity so the LP stays bounded/meaningful.
+        capacities = np.maximum(capacities, 1e-9 * max(capacities.max(), 1.0))
+
+    num_paths = pathset.num_paths
+    # Edge rows: incidence @ x - cap * t <= 0.
+    edge_block = sp.hstack(
+        [
+            pathset.edge_path_incidence,
+            sp.csr_matrix(-capacities.reshape(-1, 1)),
+        ],
+        format="csr",
+    )
+    eq_block = sp.hstack(
+        [
+            demand_constraint_matrix(pathset),
+            sp.csr_matrix((pathset.num_demands, 1)),
+        ],
+        format="csr",
+    )
+    c = np.zeros(num_paths + 1)
+    c[-1] = 1.0
+    bounds = [(0.0, None)] * num_paths + [(0.0, None)]
+    return LinearProgram(
+        c=c,
+        a_ub=edge_block,
+        b_ub=np.zeros(pathset.topology.num_edges),
+        a_eq=eq_block,
+        b_eq=demands,
+        bounds=bounds,
+        num_path_vars=num_paths,
+    )
+
+
+def build_lp(
+    pathset: PathSet,
+    demands: np.ndarray,
+    objective: Objective,
+    capacities: np.ndarray | None = None,
+    demand_subset: np.ndarray | None = None,
+) -> LinearProgram:
+    """Dispatch to the right builder for ``objective``."""
+    if isinstance(objective, MinMaxLinkUtilizationObjective):
+        if demand_subset is not None:
+            raise SolverError("MLU LP does not support demand subsetting")
+        return build_mlu_lp(pathset, demands, capacities)
+    return build_flow_lp(pathset, demands, objective, capacities, demand_subset)
+
+
+def build_restricted_flow_lp(
+    pathset: PathSet,
+    demands: np.ndarray,
+    objective: Objective,
+    capacities: np.ndarray,
+    demand_ids: np.ndarray,
+) -> tuple[LinearProgram, np.ndarray]:
+    """A genuinely smaller LP over only the paths of ``demand_ids``.
+
+    Decomposition schemes (NCFlow's clusters, POP's replicas) owe their
+    speedup to solving *smaller* LPs; zeroing demands in the full program
+    would not shrink the matrix, so this builder slices the incidence
+    columns down to the subset's paths.
+
+    Args:
+        pathset: The full path set.
+        demands: (D,) full demand vector.
+        objective: Flow-type objective.
+        capacities: Per-edge capacities visible to this subproblem.
+        demand_ids: Demand ids included in the subproblem.
+
+    Returns:
+        ``(program, path_ids)`` where ``path_ids`` maps the program's
+        variables back to global path ids.
+    """
+    demands = np.asarray(demands, dtype=float)
+    demand_ids = np.asarray(demand_ids, dtype=int)
+    if demand_ids.size == 0:
+        raise SolverError("restricted LP needs at least one demand")
+    path_selector = np.isin(pathset.path_demand, demand_ids)
+    path_ids = np.flatnonzero(path_selector)
+    incidence = pathset.edge_path_incidence[:, path_ids].tocsr()
+
+    # Compact demand rows: one row per subset demand.
+    local_demand_index = {int(d): i for i, d in enumerate(demand_ids)}
+    rows = np.array(
+        [local_demand_index[int(pathset.path_demand[p])] for p in path_ids]
+    )
+    cols = np.arange(path_ids.size)
+    demand_rows = sp.csr_matrix(
+        (np.ones(path_ids.size), (rows, cols)),
+        shape=(demand_ids.size, path_ids.size),
+    )
+    values = objective.path_values(pathset)[path_ids]
+    a_ub = sp.vstack([demand_rows, incidence], format="csr")
+    b_ub = np.concatenate([demands[demand_ids], np.asarray(capacities, float)])
+    program = LinearProgram(
+        c=-values,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=None,
+        b_eq=None,
+        bounds=[(0.0, None)] * path_ids.size,
+        num_path_vars=path_ids.size,
+    )
+    return program, path_ids

@@ -1,0 +1,170 @@
+"""TE objectives (Appendix A, §5.5).
+
+Three operator objectives from the paper:
+
+- :class:`TotalFlowObjective` — maximize total feasible flow (default,
+  Equation 1).
+- :class:`MinMaxLinkUtilizationObjective` — minimize the maximum link
+  utilization while routing all demand (§5.5, Figure 11).
+- :class:`DelayPenalizedFlowObjective` — maximize total flow with delay
+  penalties (§5.5, Figure 12): each unit of flow on path ``p`` is worth
+  ``1 - beta * (latency_p / shortest_latency_d - 1)``, so longer detours
+  earn less. This is linear in path flows, hence LP-compatible.
+
+Every objective exposes:
+
+- ``path_values(pathset)``: per-path per-unit-flow value used as the LP
+  cost vector (flow-type objectives).
+- ``evaluate(pathset, split_ratios, demands, capacities)``: the raw metric.
+- ``reward(...)``: the metric signed so that *higher is better*, used as
+  the RL reward (§3.3 — "the desired TE objective can be used directly
+  as the reward").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import SolverError
+from ..paths.pathset import PathSet
+from ..simulation.evaluator import evaluate_allocation
+
+
+class Objective(ABC):
+    """A TE objective over path-formulation allocations."""
+
+    #: Short identifier used in reports and model filenames.
+    name: str = "objective"
+    #: "max" or "min" — direction of the raw metric.
+    sense: str = "max"
+
+    @abstractmethod
+    def evaluate(
+        self,
+        pathset: PathSet,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> float:
+        """Raw metric of an allocation (feasibility enforced first)."""
+
+    def reward(
+        self,
+        pathset: PathSet,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> float:
+        """Metric signed so that higher is better (the RL reward)."""
+        value = self.evaluate(pathset, split_ratios, demands, capacities)
+        return value if self.sense == "max" else -value
+
+    def path_values(self, pathset: PathSet) -> np.ndarray:
+        """Per-unit-flow value of each path (flow-type objectives only)."""
+        raise SolverError(f"objective {self.name} has no per-path flow values")
+
+    def requires_full_routing(self) -> bool:
+        """Whether all demand must be routed (equality demand constraints)."""
+        return False
+
+
+class TotalFlowObjective(Objective):
+    """Maximize total feasible flow (Equation 1)."""
+
+    name = "total_flow"
+    sense = "max"
+
+    def path_values(self, pathset: PathSet) -> np.ndarray:
+        return np.ones(pathset.num_paths)
+
+    def evaluate(self, pathset, split_ratios, demands, capacities=None) -> float:
+        report = evaluate_allocation(pathset, split_ratios, demands, capacities)
+        return report.delivered_total
+
+
+class MinMaxLinkUtilizationObjective(Objective):
+    """Minimize max link utilization while routing all demand (§5.5).
+
+    Allocations are normalized so each demand's ratios sum to exactly 1
+    before measuring utilization (the MLU formulation routes everything;
+    capacities may be exceeded — that is what MLU measures).
+    """
+
+    name = "min_mlu"
+    sense = "min"
+
+    def requires_full_routing(self) -> bool:
+        return True
+
+    def evaluate(self, pathset, split_ratios, demands, capacities=None) -> float:
+        demands = np.asarray(demands, dtype=float)
+        if capacities is None:
+            capacities = pathset.topology.capacities
+        ratios = np.clip(np.asarray(split_ratios, dtype=float), 0.0, None)
+        sums = ratios.sum(axis=1, keepdims=True)
+        fallback = np.zeros_like(ratios)
+        fallback[:, 0] = 1.0
+        ratios = np.where(sums > 1e-12, ratios / np.maximum(sums, 1e-12), fallback)
+        flows = pathset.split_ratios_to_path_flows(ratios, demands)
+        loads = pathset.edge_loads(flows)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                capacities > 0,
+                loads / np.maximum(capacities, 1e-300),
+                np.where(loads > 0, np.inf, 0.0),
+            )
+        return float(util.max()) if util.size else 0.0
+
+
+class DelayPenalizedFlowObjective(Objective):
+    """Maximize total flow with delay penalties (§5.5, Figure 12).
+
+    Args:
+        beta: Penalty strength; a unit of flow on a path whose latency is
+            ``r`` times its demand's shortest-path latency is worth
+            ``max(0, 1 - beta * (r - 1))``.
+    """
+
+    name = "delay_penalized_flow"
+    sense = "max"
+
+    def __init__(self, beta: float = 0.5) -> None:
+        if beta < 0:
+            raise SolverError("beta must be non-negative")
+        self.beta = beta
+
+    def path_values(self, pathset: PathSet) -> np.ndarray:
+        shortest = np.full(pathset.num_demands, np.inf)
+        np.minimum.at(shortest, pathset.path_demand, pathset.path_latencies)
+        stretch = pathset.path_latencies / np.maximum(
+            shortest[pathset.path_demand], 1e-12
+        )
+        return np.maximum(0.0, 1.0 - self.beta * (stretch - 1.0))
+
+    def evaluate(self, pathset, split_ratios, demands, capacities=None) -> float:
+        report = evaluate_allocation(pathset, split_ratios, demands, capacities)
+        return float(report.delivered_path_flows @ self.path_values(pathset))
+
+
+#: Registry of the paper's objectives by name.
+OBJECTIVES: dict[str, Objective] = {
+    "total_flow": TotalFlowObjective(),
+    "min_mlu": MinMaxLinkUtilizationObjective(),
+    "delay_penalized_flow": DelayPenalizedFlowObjective(),
+}
+
+
+def get_objective(name: str) -> Objective:
+    """Look up an objective by registry name.
+
+    Raises:
+        SolverError: If the name is unknown.
+    """
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown objective {name!r}; expected one of {sorted(OBJECTIVES)}"
+        ) from None

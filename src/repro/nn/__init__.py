@@ -1,0 +1,30 @@
+"""Numpy neural-network substrate: autodiff tensors, layers, optimizers.
+
+The paper implements Teal in PyTorch; this package provides the
+equivalent primitives (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from . import functional
+from .init import kaiming_uniform, xavier_uniform
+from .layers import LeakyReLU, Linear, Module, ReLU, Sequential, Tanh, mlp
+from .optim import SGD, Adam, Optimizer
+from .tensor import Parameter, Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "as_tensor",
+    "functional",
+    "Module",
+    "Linear",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "LeakyReLU",
+    "mlp",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "xavier_uniform",
+    "kaiming_uniform",
+]

@@ -1,0 +1,245 @@
+"""Differentiable operations beyond the Tensor dunder methods.
+
+Includes everything Teal's models need: activations, (masked) softmax,
+sparse aggregation for FlowGNN message passing, row gathering for
+per-demand embedding lookup, concatenation, and Gaussian log-densities
+for the stochastic policy (Appendix B).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ModelError
+from .tensor import Tensor, as_tensor
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise max(x, 0)."""
+    x = as_tensor(x)
+    out = Tensor(np.maximum(x.data, 0.0), parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (x.data > 0))
+
+    out._backward_fn = backward
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Elementwise leaky ReLU."""
+    x = as_tensor(x)
+    out = Tensor(
+        np.where(x.data > 0, x.data, negative_slope * x.data), parents=(x,)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0, 1.0, negative_slope))
+
+    out._backward_fn = backward
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    x = as_tensor(x)
+    value = np.tanh(x.data)
+    out = Tensor(value, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - value ** 2))
+
+    out._backward_fn = backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    x = as_tensor(x)
+    value = 1.0 / (1.0 + np.exp(-x.data))
+    out = Tensor(value, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * value * (1.0 - value))
+
+    out._backward_fn = backward
+    return out
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    x = as_tensor(x)
+    value = np.exp(x.data)
+    out = Tensor(value, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * value)
+
+    out._backward_fn = backward
+    return out
+
+
+def log(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Elementwise natural log with an epsilon floor for stability."""
+    x = as_tensor(x)
+    safe = np.maximum(x.data, eps)
+    out = Tensor(np.log(safe), parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad / safe)
+
+    out._backward_fn = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1, mask: np.ndarray | None = None) -> Tensor:
+    """(Masked) softmax along ``axis``.
+
+    Args:
+        x: Logits.
+        axis: Softmax axis.
+        mask: Optional boolean array broadcastable to ``x``; False entries
+            receive zero probability (used for padded path slots).
+    """
+    x = as_tensor(x)
+    logits = x.data
+    if mask is not None:
+        logits = np.where(mask, logits, -1e30)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    if mask is not None:
+        exps = np.where(mask, exps, 0.0)
+    denom = exps.sum(axis=axis, keepdims=True)
+    value = exps / np.maximum(denom, 1e-30)
+    out = Tensor(value, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * value).sum(axis=axis, keepdims=True)
+            g = value * (grad - dot)
+            if mask is not None:
+                g = np.where(mask, g, 0.0)
+            x._accumulate(g)
+
+    out._backward_fn = backward
+    return out
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ModelError("concat requires at least one tensor")
+    out = Tensor(
+        np.concatenate([t.data for t in tensors], axis=axis), parents=tuple(tensors)
+    )
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                t._accumulate(grad[tuple(slicer)])
+
+    out._backward_fn = backward
+    return out
+
+
+def take_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows ``x[indices]`` with scatter-add backward.
+
+    Args:
+        x: (N, F) tensor.
+        indices: Integer row indices (any shape); output shape is
+            ``indices.shape + (F,)``.
+    """
+    x = as_tensor(x)
+    indices = np.asarray(indices, dtype=int)
+    out = Tensor(x.data[indices], parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            acc = np.zeros_like(x.data)
+            np.add.at(acc, indices.reshape(-1), grad.reshape(-1, x.data.shape[-1]))
+            x._accumulate(acc)
+
+    out._backward_fn = backward
+    return out
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Product ``matrix @ x`` for a constant sparse matrix.
+
+    The backward pass is ``matrix.T @ grad``. This is the aggregation
+    primitive of FlowGNN: with the (E, P) edge-path incidence matrix it
+    sums PathNode embeddings into EdgeNodes (and transposed, back).
+    """
+    x = as_tensor(x)
+    if not sp.issparse(matrix):
+        raise ModelError("sparse_matmul expects a scipy sparse matrix")
+    csr = matrix.tocsr()
+    out = Tensor(csr @ x.data, parents=(x,))
+    transposed = csr.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(transposed @ grad)
+
+    out._backward_fn = backward
+    return out
+
+
+def clip(x: Tensor, low: float | None = None, high: float | None = None) -> Tensor:
+    """Clamp values; gradient is passed through inside the active range."""
+    x = as_tensor(x)
+    value = np.clip(x.data, low, high)
+    out = Tensor(value, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            inside = np.ones_like(x.data, dtype=bool)
+            if low is not None:
+                inside &= x.data >= low
+            if high is not None:
+                inside &= x.data <= high
+            x._accumulate(grad * inside)
+
+    out._backward_fn = backward
+    return out
+
+
+def gaussian_log_prob(mean: Tensor, log_std: Tensor, actions: np.ndarray) -> Tensor:
+    """Log-density of ``actions`` under diagonal Gaussians (summed per row).
+
+    Used by COMA*'s stochastic policy: during training actions are sampled
+    around the policy mean (Appendix B), and the policy gradient weights
+    ``grad log pi(a|s)`` by the advantage.
+
+    Args:
+        mean: (D, A) Gaussian means (the policy output).
+        log_std: Broadcastable log standard deviations (a parameter).
+        actions: (D, A) constant sampled actions.
+
+    Returns:
+        (D,) per-row log probabilities.
+    """
+    mean = as_tensor(mean)
+    log_std = as_tensor(log_std)
+    actions_t = Tensor(actions)
+    std = exp(log_std)
+    z = (actions_t - mean) / std
+    per_dim = (z * z) * (-0.5) - log_std - 0.5 * _LOG_2PI
+    return per_dim.sum(axis=-1)

@@ -1,0 +1,29 @@
+"""Weight initialization schemes for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ModelError("fan_in and fan_out must be positive")
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming uniform initialization (ReLU gain)."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ModelError("fan_in and fan_out must be positive")
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))

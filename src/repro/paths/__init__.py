@@ -1,0 +1,21 @@
+"""Path substrate: k-shortest paths and demand path sets."""
+
+from .ksp import (
+    ShortestPathOracle,
+    edge_weights,
+    k_shortest_paths_deviation,
+    k_shortest_paths_yen,
+    path_cost,
+)
+from .pathset import PathSet, all_ordered_pairs, sampled_pairs
+
+__all__ = [
+    "ShortestPathOracle",
+    "edge_weights",
+    "k_shortest_paths_deviation",
+    "k_shortest_paths_yen",
+    "path_cost",
+    "PathSet",
+    "all_ordered_pairs",
+    "sampled_pairs",
+]

@@ -1,0 +1,27 @@
+"""Evaluation substrate: feasible-flow semantics, online loop, metrics."""
+
+from .evaluator import (
+    Allocation,
+    FlowReport,
+    evaluate_allocation,
+    path_bottleneck_utilization,
+    satisfied_demand_fraction,
+)
+from .fallback import FallbackScheme
+from .metrics import SchemeRun, format_comparison_table, speedup
+from .online import IntervalResult, OnlineRunResult, OnlineSimulator
+
+__all__ = [
+    "Allocation",
+    "FlowReport",
+    "evaluate_allocation",
+    "path_bottleneck_utilization",
+    "satisfied_demand_fraction",
+    "OnlineSimulator",
+    "OnlineRunResult",
+    "IntervalResult",
+    "SchemeRun",
+    "speedup",
+    "format_comparison_table",
+    "FallbackScheme",
+]

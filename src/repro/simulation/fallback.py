@@ -1,0 +1,124 @@
+"""Production fallback wrapper (§5.4).
+
+The paper's deployment note: "we may concurrently execute an additional
+TE scheme, such as LP-top, to compute traffic allocation. We can then
+seamlessly fall back to it if it consistently yields superior solutions
+than Teal." :class:`FallbackScheme` implements exactly that control
+policy as a scheme combinator:
+
+- every interval, both the primary (e.g. Teal) and the safety scheme
+  (e.g. LP-top) compute allocations *concurrently* (charged at the max
+  of their compute times, matching the paper's accounting for parallel
+  work);
+- the wrapper deploys the primary's allocation by default;
+- if the safety scheme's realized objective beats the primary's in at
+  least ``window`` consecutive intervals (by more than ``margin``
+  relative), the wrapper switches to the safety scheme — and switches
+  back symmetrically once the primary recovers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..paths.pathset import PathSet
+from .evaluator import Allocation
+
+
+class FallbackScheme:
+    """Run a primary scheme with a concurrently-computed safety net.
+
+    Args:
+        primary: Preferred scheme (deployed by default).
+        safety: Fallback scheme computed concurrently each interval.
+        objective: Objective used to compare realized solutions.
+        window: Number of consecutive safety wins required to switch
+            (and of primary wins required to switch back).
+        margin: Minimum relative improvement that counts as a win.
+    """
+
+    name = "Fallback"
+
+    def __init__(
+        self,
+        primary,
+        safety,
+        objective=None,
+        window: int = 3,
+        margin: float = 0.01,
+    ) -> None:
+        if window < 1:
+            raise SimulationError("window must be >= 1")
+        if margin < 0:
+            raise SimulationError("margin must be non-negative")
+        self.primary = primary
+        self.safety = safety
+        if objective is None:
+            # Imported lazily: repro.lp depends on repro.simulation's
+            # evaluator, so a module-level import here would be circular.
+            from ..lp.objectives import TotalFlowObjective
+
+            objective = TotalFlowObjective()
+        self.objective = objective
+        self.window = window
+        self.margin = margin
+        self.using_safety = False
+        self._recent: deque[bool] = deque(maxlen=window)
+        self.name = f"{getattr(primary, 'name', 'primary')}+fallback"
+
+    def _relative_win(self, challenger: float, incumbent: float) -> bool:
+        scale = max(abs(incumbent), 1e-12)
+        return (challenger - incumbent) / scale > self.margin
+
+    def allocate(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> Allocation:
+        """Compute both allocations, deploy per the fallback policy."""
+        primary_alloc = self.primary.allocate(pathset, demands, capacities)
+        safety_alloc = self.safety.allocate(pathset, demands, capacities)
+
+        primary_value = self.objective.reward(
+            pathset, primary_alloc.split_ratios, demands, capacities
+        )
+        safety_value = self.objective.reward(
+            pathset, safety_alloc.split_ratios, demands, capacities
+        )
+
+        if self.using_safety:
+            # Track whether the primary has recovered.
+            self._recent.append(
+                self._relative_win(primary_value, safety_value)
+            )
+            if len(self._recent) == self.window and all(self._recent):
+                self.using_safety = False
+                self._recent.clear()
+        else:
+            self._recent.append(
+                self._relative_win(safety_value, primary_value)
+            )
+            if len(self._recent) == self.window and all(self._recent):
+                self.using_safety = True
+                self._recent.clear()
+
+        chosen = safety_alloc if self.using_safety else primary_alloc
+        return Allocation(
+            split_ratios=chosen.split_ratios,
+            # Concurrent execution: charged at the slower of the two.
+            compute_time=max(
+                primary_alloc.compute_time, safety_alloc.compute_time
+            ),
+            scheme=self.name,
+            extras={
+                "deployed": "safety" if self.using_safety else "primary",
+                "primary_value": primary_value,
+                "safety_value": safety_value,
+                "primary_time": primary_alloc.compute_time,
+                "safety_time": safety_alloc.compute_time,
+            },
+        )

@@ -1,0 +1,108 @@
+"""Metric aggregation and reporting helpers (§5.1, Table 2).
+
+Turns per-matrix scheme results into the rows the paper's tables and
+figures report: mean/percentile computation times, satisfied-demand
+CDFs, speedup factors, and the Table 2 computation-time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .evaluator import Allocation
+
+
+@dataclass
+class SchemeRun:
+    """Accumulated per-matrix results for one scheme on one workload."""
+
+    scheme: str
+    satisfied: list[float] = field(default_factory=list)
+    compute_times: list[float] = field(default_factory=list)
+    objective_values: list[float] = field(default_factory=list)
+    extras: list[dict] = field(default_factory=list)
+
+    def add(
+        self,
+        satisfied: float,
+        compute_time: float,
+        objective_value: float = 0.0,
+        extras: dict | None = None,
+    ) -> None:
+        """Record one traffic matrix's outcome."""
+        self.satisfied.append(float(satisfied))
+        self.compute_times.append(float(compute_time))
+        self.objective_values.append(float(objective_value))
+        self.extras.append(extras or {})
+
+    @property
+    def mean_satisfied(self) -> float:
+        """Mean satisfied-demand fraction."""
+        return float(np.mean(self.satisfied)) if self.satisfied else 0.0
+
+    @property
+    def mean_compute_time(self) -> float:
+        """Mean compute time per matrix (seconds)."""
+        return float(np.mean(self.compute_times)) if self.compute_times else 0.0
+
+    def satisfied_percentile(self, q: float) -> float:
+        """q-th percentile of satisfied demand (Figure 7b)."""
+        if not self.satisfied:
+            return 0.0
+        return float(np.percentile(self.satisfied, q))
+
+    def time_percentile(self, q: float) -> float:
+        """q-th percentile of compute time (Figure 7a)."""
+        if not self.compute_times:
+            return 0.0
+        return float(np.percentile(self.compute_times, q))
+
+    def cdf(self, values: list[float]) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF points (sorted values, cumulative fractions)."""
+        arr = np.sort(np.asarray(values, dtype=float))
+        if arr.size == 0:
+            return arr, arr
+        return arr, np.arange(1, arr.size + 1) / arr.size
+
+    def time_breakdown(self) -> dict[str, float]:
+        """Mean per-component compute time (Table 2 row).
+
+        Components come from the ``extras`` each scheme attaches
+        (solver time, model rebuild, merge, forward pass, ADMM).
+        """
+        keys: set[str] = set()
+        for e in self.extras:
+            keys.update(k for k in e if k.endswith("_time"))
+        breakdown = {
+            key: float(np.mean([e.get(key, 0.0) for e in self.extras]))
+            for key in sorted(keys)
+        }
+        breakdown["total_time"] = self.mean_compute_time
+        return breakdown
+
+
+def speedup(baseline: SchemeRun, accelerated: SchemeRun) -> float:
+    """How many times faster ``accelerated`` runs than ``baseline``.
+
+    Raises:
+        SimulationError: If the accelerated scheme has zero mean time.
+    """
+    fast = accelerated.mean_compute_time
+    if fast <= 0:
+        raise SimulationError("accelerated scheme has non-positive time")
+    return baseline.mean_compute_time / fast
+
+
+def format_comparison_table(runs: list[SchemeRun]) -> str:
+    """Human-readable table of scheme results (benchmark output)."""
+    header = f"{'scheme':<14} {'satisfied %':>12} {'time (s)':>12} {'p90 time':>12}"
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        lines.append(
+            f"{run.scheme:<14} {100 * run.mean_satisfied:>11.1f}% "
+            f"{run.mean_compute_time:>12.4f} {run.time_percentile(90):>12.4f}"
+        )
+    return "\n".join(lines)

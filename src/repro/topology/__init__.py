@@ -1,0 +1,55 @@
+"""Topology substrate: WAN graphs, generators, partitioning, failures, stats."""
+
+from .failures import (
+    apply_failures,
+    failure_scenarios,
+    physical_links,
+    sample_link_failures,
+)
+from .generators import (
+    GENERATORS,
+    PAPER_SIZES,
+    PAPER_STATS,
+    asn,
+    b4,
+    get_topology,
+    kdl,
+    provision_capacities,
+    swan,
+    us_carrier,
+)
+from .graph import Topology
+from .partition import bfs_balanced_partition, cut_edges, partition_quality
+from .stats import (
+    all_pairs_hop_distances,
+    average_shortest_path_length,
+    diameter,
+    routable_demand_fraction_per_edge,
+    topology_summary,
+)
+
+__all__ = [
+    "Topology",
+    "GENERATORS",
+    "PAPER_SIZES",
+    "PAPER_STATS",
+    "b4",
+    "swan",
+    "us_carrier",
+    "kdl",
+    "asn",
+    "get_topology",
+    "provision_capacities",
+    "bfs_balanced_partition",
+    "cut_edges",
+    "partition_quality",
+    "apply_failures",
+    "failure_scenarios",
+    "physical_links",
+    "sample_link_failures",
+    "all_pairs_hop_distances",
+    "average_shortest_path_length",
+    "diameter",
+    "routable_demand_fraction_per_edge",
+    "topology_summary",
+]

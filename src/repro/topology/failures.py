@@ -1,0 +1,109 @@
+"""Link-failure models (§5.3, Figures 8 and 9).
+
+The paper injects 1-2 link failures on B4 and 50/100/200 failures on ASN
+(stress scenarios from ARROW [Zhong et al., SIGCOMM'21]), modeling a
+failure as a capacity drop to zero. Failures are applied to both
+directions of a physical link, matching fiber-cut semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import TopologyError
+from .graph import Topology
+
+
+def physical_links(topology: Topology) -> list[tuple[int, int]]:
+    """Undirected physical links underlying the directed edge set."""
+    seen: set[tuple[int, int]] = set()
+    for u, v in topology.edges:
+        seen.add((min(u, v), max(u, v)))
+    return sorted(seen)
+
+
+def sample_link_failures(
+    topology: Topology, num_failures: int, seed: int = 0
+) -> list[int]:
+    """Sample ``num_failures`` physical links and return failed edge ids.
+
+    Both directions of each sampled physical link fail. Sampling is
+    without replacement; requesting more failures than physical links
+    raises.
+
+    Args:
+        topology: The topology to fail links in.
+        num_failures: Number of physical (bidirectional) links to fail.
+        seed: RNG seed.
+
+    Returns:
+        Sorted list of directed edge ids with zeroed capacity.
+
+    Raises:
+        TopologyError: If ``num_failures`` exceeds the physical link count.
+    """
+    links = physical_links(topology)
+    if num_failures < 0:
+        raise TopologyError("num_failures must be non-negative")
+    if num_failures > len(links):
+        raise TopologyError(
+            f"cannot fail {num_failures} of {len(links)} physical links"
+        )
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(links), size=num_failures, replace=False)
+    failed: list[int] = []
+    for idx in chosen:
+        u, v = links[int(idx)]
+        if topology.has_edge(u, v):
+            failed.append(topology.edge_id(u, v))
+        if topology.has_edge(v, u):
+            failed.append(topology.edge_id(v, u))
+    return sorted(failed)
+
+
+def apply_failures(topology: Topology, num_failures: int, seed: int = 0) -> Topology:
+    """Return a copy of ``topology`` with sampled link failures applied."""
+    return topology.with_failed_edges(
+        sample_link_failures(topology, num_failures, seed)
+    )
+
+
+def failure_scenarios(
+    topology: Topology,
+    failure_probability: float,
+    max_failures: int = 1,
+) -> list[tuple[float, list[int]]]:
+    """Enumerate weighted failure scenarios for TEAVAR-style TE (§5.1).
+
+    Scenarios cover "no failure" plus every single-physical-link failure
+    (and optionally is truncated to the ``max_failures`` most impactful
+    ones by capacity). Probabilities follow independent Bernoulli failures
+    truncated at one simultaneous failure, renormalized.
+
+    Args:
+        topology: The topology.
+        failure_probability: Per-physical-link failure probability.
+        max_failures: Cap on simultaneous failures modeled (1 reproduces
+            TEAVAR*'s dominant single-failure scenario set).
+
+    Returns:
+        List of ``(probability, failed_edge_ids)``; probabilities sum to 1.
+    """
+    if not 0 <= failure_probability < 1:
+        raise TopologyError("failure_probability must be in [0, 1)")
+    if max_failures != 1:
+        raise TopologyError("only single-failure scenario sets are supported")
+    links = physical_links(topology)
+    p = failure_probability
+    none_weight = (1 - p) ** len(links)
+    scenarios: list[tuple[float, list[int]]] = [(none_weight, [])]
+    for u, v in links:
+        weight = p * (1 - p) ** (len(links) - 1)
+        failed = []
+        if topology.has_edge(u, v):
+            failed.append(topology.edge_id(u, v))
+        if topology.has_edge(v, u):
+            failed.append(topology.edge_id(v, u))
+        scenarios.append((weight, sorted(failed)))
+    total = sum(w for w, _ in scenarios)
+    return [(w / total, f) for w, f in scenarios]

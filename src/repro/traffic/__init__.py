@@ -1,0 +1,23 @@
+"""Traffic substrate: matrices, calibrated generators, traces, perturbations."""
+
+from .generators import (
+    TrafficGenerator,
+    calibrate_sigma,
+    gravity_base_matrix,
+    top_fraction_share,
+)
+from .matrix import TrafficMatrix
+from .perturbations import spatial_redistribution, temporal_fluctuation
+from .trace import TraceSplit, TrafficTrace
+
+__all__ = [
+    "TrafficMatrix",
+    "TrafficTrace",
+    "TraceSplit",
+    "TrafficGenerator",
+    "gravity_base_matrix",
+    "calibrate_sigma",
+    "top_fraction_share",
+    "spatial_redistribution",
+    "temporal_fluctuation",
+]

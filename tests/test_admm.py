@@ -1,0 +1,121 @@
+"""Tests for the ADMM fine-tuner (Appendix C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AdmmConfig
+from repro.core import AdmmFineTuner
+from repro.exceptions import ModelError
+from repro.lp import TotalFlowObjective, solve_te_lp
+
+
+@pytest.fixture(scope="module")
+def tuner(b4_pathset):
+    return AdmmFineTuner(b4_pathset, AdmmConfig(iterations=10, rho=3.0))
+
+
+class TestAdmmConfig:
+    def test_paper_iteration_defaults(self):
+        config = AdmmConfig()
+        assert config.resolve_iterations(12) == 2  # <100 nodes
+        assert config.resolve_iterations(754) == 5
+
+    def test_explicit_override(self):
+        assert AdmmConfig(iterations=7).resolve_iterations(12) == 7
+
+
+class TestFineTune:
+    def test_output_is_valid_ratio_matrix(self, tuner, b4_pathset, b4_demands):
+        rng = np.random.default_rng(0)
+        ratios = rng.uniform(0, 1, (b4_pathset.num_demands, 4))
+        ratios /= ratios.sum(axis=1, keepdims=True)
+        tuned = tuner.fine_tune(ratios, b4_demands)
+        assert np.all(tuned >= -1e-12)
+        assert np.all(tuned.sum(axis=1) <= 1.0 + 1e-9)
+
+    def test_reduces_constraint_violation(self, tuner, b4_pathset, b4_trace):
+        """ADMM's purpose: shrink capacity overshoot (§3.4)."""
+        heavy = b4_pathset.demand_volumes(b4_trace[0].scaled(4.0).values)
+        ratios = np.zeros((b4_pathset.num_demands, 4))
+        ratios[:, 0] = 1.0  # everything on shortest paths: heavy overload
+        before = tuner.constraint_violation(ratios, heavy)
+        tuned = tuner.fine_tune(ratios, heavy)
+        after = tuner.constraint_violation(tuned, heavy)
+        assert after < before
+
+    def test_optimal_point_is_first_iteration_fixed_point(
+        self, b4_pathset, b4_demands
+    ):
+        """The dual warm start makes a feasible optimum a fixed point of
+        the first ADMM iteration (see the lam1 initialization note)."""
+        solution = solve_te_lp(b4_pathset, b4_demands, TotalFlowObjective())
+        ratios = np.clip(
+            b4_pathset.path_flows_to_split_ratios(solution.path_flows, b4_demands),
+            0,
+            1,
+        )
+        tuner = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=1, rho=3.0))
+        tuned = tuner.fine_tune(ratios, b4_demands)
+        violation = tuner.constraint_violation(tuned, b4_demands)
+        assert violation <= 1e-4 * b4_demands.sum()
+
+    def test_fine_tune_improves_delivered_flow(self, b4_pathset, b4_trace):
+        """Delivered (post-drop) flow improves from a lossy warm start."""
+        from repro.simulation import evaluate_allocation
+
+        heavy = b4_pathset.demand_volumes(b4_trace[0].scaled(3.0).values)
+        rng = np.random.default_rng(2)
+        ratios = rng.dirichlet(np.ones(4), size=b4_pathset.num_demands)
+        ratios = ratios * b4_pathset.path_mask
+        before = evaluate_allocation(
+            b4_pathset, ratios, heavy
+        ).delivered_total
+        tuner = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=5, rho=3.0))
+        tuned = tuner.fine_tune(ratios, heavy)
+        after = evaluate_allocation(b4_pathset, tuned, heavy).delivered_total
+        assert after >= before * 0.98
+
+    def test_zero_iterations_is_identity_up_to_clipping(
+        self, b4_pathset, b4_demands
+    ):
+        tuner = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=5))
+        rng = np.random.default_rng(1)
+        ratios = rng.uniform(0, 0.25, (b4_pathset.num_demands, 4))
+        out = tuner.fine_tune(ratios, b4_demands, iterations=0)
+        assert np.allclose(out, ratios)
+
+    def test_handles_zero_demands(self, tuner, b4_pathset):
+        ratios = np.full((b4_pathset.num_demands, 4), 0.25)
+        tuned = tuner.fine_tune(ratios, np.zeros(b4_pathset.num_demands))
+        assert np.all(np.isfinite(tuned))
+
+    def test_handles_failed_links(self, tuner, b4_pathset, b4_demands):
+        caps = b4_pathset.topology.capacities.copy()
+        caps[:6] = 0.0
+        ratios = np.full((b4_pathset.num_demands, 4), 0.25)
+        tuned = tuner.fine_tune(ratios, b4_demands, caps)
+        assert np.all(np.isfinite(tuned))
+
+    def test_path_values_shape_check(self, b4_pathset):
+        with pytest.raises(ModelError):
+            AdmmFineTuner(b4_pathset, path_values=np.ones(3))
+
+    @given(scale=st.floats(0.5, 8.0))
+    @settings(max_examples=15, deadline=None)
+    def test_violation_never_increases_much(
+        self, b4_pathset, b4_demands, scale
+    ):
+        """Property: across demand scales, ADMM shrinks or holds violations."""
+        tuner = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=10, rho=3.0))
+        ratios = np.zeros((b4_pathset.num_demands, 4))
+        ratios[:, 0] = 1.0
+        demands = b4_demands * scale
+        before = tuner.constraint_violation(ratios, demands)
+        after = tuner.constraint_violation(
+            tuner.fine_tune(ratios, demands), demands
+        )
+        assert after <= before * 1.05 + 1e-6

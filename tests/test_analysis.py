@@ -1,0 +1,122 @@
+"""Tests for t-SNE, embedding interpretation, and solver-scaling analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    busy_path_labels,
+    calibrate_portfolio_sigma,
+    cluster_separation_score,
+    concurrent_lp_speedups,
+    measure_single_thread_time,
+    projected_solve_times,
+    tsne,
+)
+from repro.exceptions import ReproError
+
+
+class TestTsne:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 6))
+        y = tsne(x, iterations=80, seed=0)
+        assert y.shape == (40, 2)
+        assert np.isfinite(y).all()
+
+    def test_separates_two_gaussian_clusters(self):
+        """Well-separated input clusters must stay separated in 2-D."""
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.3, size=(30, 5))
+        b = rng.normal(8.0, 0.3, size=(30, 5))
+        coords = tsne(np.vstack([a, b]), iterations=250, seed=1)
+        labels = np.array([True] * 30 + [False] * 30)
+        score = cluster_separation_score(coords, labels)
+        assert score > 1.0
+
+    def test_perplexity_autoclamped(self):
+        rng = np.random.default_rng(2)
+        coords = tsne(rng.normal(size=(10, 3)), perplexity=50, iterations=30)
+        assert coords.shape == (10, 2)
+
+    def test_too_few_points(self):
+        with pytest.raises(ReproError):
+            tsne(np.zeros((3, 2)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ReproError):
+            tsne(np.zeros(10))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(20, 4))
+        a = tsne(x, iterations=50, seed=7)
+        b = tsne(x, iterations=50, seed=7)
+        assert np.allclose(a, b)
+
+
+class TestBusyPathLabels:
+    def test_labels_one_busy_path_per_demand(self, b4_pathset, b4_demands):
+        from repro.baselines import LpAll
+
+        allocation = LpAll().allocate(b4_pathset, b4_demands)
+        labels = busy_path_labels(b4_pathset, allocation.split_ratios)
+        assert labels.shape == (b4_pathset.num_paths,)
+        # At most one busy path per demand.
+        per_demand = np.zeros(b4_pathset.num_demands)
+        np.add.at(per_demand, b4_pathset.path_demand, labels.astype(int))
+        assert np.all(per_demand <= 1)
+        assert labels.sum() > 0
+
+    def test_zero_allocation_no_busy(self, b4_pathset):
+        labels = busy_path_labels(
+            b4_pathset, np.zeros((b4_pathset.num_demands, 4))
+        )
+        assert labels.sum() == 0
+
+    def test_shape_validation(self, b4_pathset):
+        with pytest.raises(ReproError):
+            busy_path_labels(b4_pathset, np.zeros((3, 4)))
+
+    def test_separation_score_requires_both_classes(self):
+        with pytest.raises(ReproError):
+            cluster_separation_score(np.zeros((5, 2)), np.ones(5, dtype=bool))
+
+
+class TestSolverScaling:
+    def test_calibration_hits_paper_anchor(self):
+        """Figure 2 anchor: 16 threads -> ~3.8x speedup."""
+        sigma = calibrate_portfolio_sigma(target_speedup=3.8, threads=16)
+        speedups = concurrent_lp_speedups([16], sigma=sigma)
+        assert speedups[16] == pytest.approx(3.8, rel=0.05)
+
+    def test_speedups_monotone_and_marginal(self):
+        speedups = concurrent_lp_speedups([1, 2, 4, 8, 16], seed=0)
+        values = [speedups[n] for n in [1, 2, 4, 8, 16]]
+        assert values[0] == pytest.approx(1.0, rel=0.02)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        # Sub-linear: doubling threads never doubles speedup (Figure 2).
+        assert speedups[16] < 8.0
+
+    def test_projected_times_decrease(self):
+        speedups = {1: 1.0, 4: 2.0, 16: 3.8}
+        times = projected_solve_times(100.0, speedups)
+        assert times[1] == pytest.approx(100.0)
+        assert times[16] == pytest.approx(100.0 / 3.8)
+
+    def test_projected_times_validation(self):
+        with pytest.raises(ReproError):
+            projected_solve_times(0.0, {1: 1.0})
+
+    def test_measure_single_thread_time(self, b4_pathset, b4_demands):
+        t = measure_single_thread_time(b4_pathset, b4_demands)
+        assert t > 0
+
+    def test_thread_count_validation(self):
+        with pytest.raises(ReproError):
+            concurrent_lp_speedups([])
+        with pytest.raises(ReproError):
+            concurrent_lp_speedups([0])
+        with pytest.raises(ReproError):
+            calibrate_portfolio_sigma(target_speedup=0.5)

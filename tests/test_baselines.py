@@ -1,0 +1,246 @@
+"""Tests for the baseline TE schemes: LP-all, LP-top, NCFlow, POP, TEAVAR*."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LpAll, LpTop, NCFlow, Pop, TeavarStar, default_cluster_count
+from repro.exceptions import SolverError
+from repro.lp import MinMaxLinkUtilizationObjective, TotalFlowObjective, solve_te_lp
+from repro.simulation import evaluate_allocation
+
+
+@pytest.fixture(scope="module")
+def tight_demands(b4_pathset, b4_trace):
+    """Demands scaled so capacity binds (schemes must make tradeoffs)."""
+    return b4_pathset.demand_volumes(b4_trace[0].scaled(2.0).values)
+
+
+class TestLpAll:
+    def test_matches_direct_lp(self, b4_pathset, tight_demands):
+        allocation = LpAll().allocate(b4_pathset, tight_demands)
+        report = evaluate_allocation(
+            b4_pathset, allocation.split_ratios, tight_demands
+        )
+        direct = solve_te_lp(b4_pathset, tight_demands, TotalFlowObjective())
+        assert report.delivered_total == pytest.approx(
+            direct.objective_value, rel=1e-6
+        )
+
+    def test_records_timing_and_extras(self, b4_pathset, tight_demands):
+        allocation = LpAll().allocate(b4_pathset, tight_demands)
+        assert allocation.compute_time > 0
+        assert allocation.extras["lp_iterations"] >= 1
+        assert allocation.scheme == "LP-all"
+
+    def test_capacity_override(self, b4_pathset, tight_demands):
+        half = b4_pathset.topology.capacities * 0.5
+        full_run = LpAll().allocate(b4_pathset, tight_demands)
+        half_run = LpAll().allocate(b4_pathset, tight_demands, half)
+        full_val = evaluate_allocation(
+            b4_pathset, full_run.split_ratios, tight_demands
+        ).delivered_total
+        half_val = evaluate_allocation(
+            b4_pathset, half_run.split_ratios, tight_demands, half
+        ).delivered_total
+        assert half_val < full_val
+
+    def test_mlu_objective(self, b4_pathset, b4_demands):
+        allocation = LpAll(MinMaxLinkUtilizationObjective()).allocate(
+            b4_pathset, b4_demands
+        )
+        obj = MinMaxLinkUtilizationObjective()
+        mlu = obj.evaluate(b4_pathset, allocation.split_ratios, b4_demands)
+        assert np.isfinite(mlu)
+        # Ratios route (almost) everything under the equality constraint;
+        # demands below solver tolerance are exempt.
+        sums = allocation.split_ratios.sum(axis=1)
+        meaningful = b4_demands > 1e-3 * b4_demands.max()
+        assert np.all(sums[meaningful] > 0.99)
+
+
+class TestLpTop:
+    def test_top_ids_by_volume(self, b4_pathset, tight_demands):
+        scheme = LpTop(alpha_percent=10)
+        top = scheme.top_demand_ids(tight_demands)
+        assert len(top) == max(1, round(0.1 * len(tight_demands)))
+        cutoff = tight_demands[top].min()
+        others = np.delete(tight_demands, top)
+        assert np.all(others <= cutoff + 1e-9)
+
+    def test_small_demands_pinned_to_shortest(self, b4_pathset, tight_demands):
+        scheme = LpTop(alpha_percent=10)
+        allocation = scheme.allocate(b4_pathset, tight_demands)
+        top = set(scheme.top_demand_ids(tight_demands).tolist())
+        for d in range(b4_pathset.num_demands):
+            if d not in top:
+                assert allocation.split_ratios[d, 0] == pytest.approx(1.0)
+                assert allocation.split_ratios[d, 1:].sum() == pytest.approx(0.0)
+
+    def test_close_to_lp_all_on_heavy_tail(self, b4_pathset, tight_demands):
+        """Demand pinning works because the tail is heavy (§5.1)."""
+        lp_all = LpAll().allocate(b4_pathset, tight_demands)
+        lp_top = LpTop().allocate(b4_pathset, tight_demands)
+        full = evaluate_allocation(
+            b4_pathset, lp_all.split_ratios, tight_demands
+        ).satisfied_fraction
+        pinned = evaluate_allocation(
+            b4_pathset, lp_top.split_ratios, tight_demands
+        ).satisfied_fraction
+        assert pinned >= full - 0.12
+
+    def test_charges_rebuild_time(self, b4_pathset, tight_demands):
+        allocation = LpTop().allocate(b4_pathset, tight_demands)
+        assert allocation.extras["model_build_time"] >= 0
+        assert allocation.compute_time >= allocation.extras["model_build_time"]
+
+    def test_alpha_validation(self):
+        with pytest.raises(SolverError):
+            LpTop(alpha_percent=0)
+        with pytest.raises(SolverError):
+            LpTop(alpha_percent=101)
+
+
+class TestNCFlow:
+    def test_produces_feasible_allocation(self, b4_pathset, tight_demands):
+        allocation = NCFlow(num_clusters=3).allocate(b4_pathset, tight_demands)
+        report = evaluate_allocation(
+            b4_pathset, allocation.split_ratios, tight_demands
+        )
+        # After merge reconciliation the intended allocation is feasible.
+        assert report.intended_mlu <= 1.0 + 1e-6
+
+    def test_worse_than_lp_all(self, b4_pathset, tight_demands):
+        """Decomposition loses performance (the paper's core observation)."""
+        lp = LpAll().allocate(b4_pathset, tight_demands)
+        nc = NCFlow(num_clusters=3).allocate(b4_pathset, tight_demands)
+        lp_sat = evaluate_allocation(
+            b4_pathset, lp.split_ratios, tight_demands
+        ).satisfied_fraction
+        nc_sat = evaluate_allocation(
+            b4_pathset, nc.split_ratios, tight_demands
+        ).satisfied_fraction
+        assert nc_sat <= lp_sat + 1e-9
+
+    def test_extras_report_clusters(self, b4_pathset, tight_demands):
+        allocation = NCFlow(num_clusters=3).allocate(b4_pathset, tight_demands)
+        assert allocation.extras["num_clusters"] == 3
+        total = (
+            allocation.extras["num_intra_demands"]
+            + allocation.extras["num_inter_demands"]
+        )
+        assert total == int((tight_demands > 0).sum())
+
+    def test_default_cluster_count(self):
+        assert default_cluster_count(100) == 10
+        assert default_cluster_count(4) == 2
+
+    def test_cluster_validation(self):
+        with pytest.raises(SolverError):
+            NCFlow(num_clusters=1)
+
+
+class TestPop:
+    def test_replicas_split_work(self, b4_pathset, tight_demands):
+        allocation = Pop(num_replicas=4, seed=0).allocate(
+            b4_pathset, tight_demands
+        )
+        assert allocation.extras["num_replicas"] == 4
+        report = evaluate_allocation(
+            b4_pathset, allocation.split_ratios, tight_demands
+        )
+        assert 0 < report.satisfied_fraction <= 1
+
+    def test_single_replica_equals_lp_all(self, b4_pathset, tight_demands):
+        """k=1 POP degenerates to LP-all (paper uses k=1 on B4/SWAN)."""
+        pop = Pop(num_replicas=1, seed=0).allocate(b4_pathset, tight_demands)
+        lp = LpAll().allocate(b4_pathset, tight_demands)
+        pop_val = evaluate_allocation(
+            b4_pathset, pop.split_ratios, tight_demands
+        ).delivered_total
+        lp_val = evaluate_allocation(
+            b4_pathset, lp.split_ratios, tight_demands
+        ).delivered_total
+        assert pop_val == pytest.approx(lp_val, rel=1e-6)
+
+    def test_more_replicas_weakly_worse(self, b4_pathset, tight_demands):
+        one = Pop(num_replicas=1).allocate(b4_pathset, tight_demands)
+        eight = Pop(num_replicas=8, seed=1).allocate(b4_pathset, tight_demands)
+        v1 = evaluate_allocation(
+            b4_pathset, one.split_ratios, tight_demands
+        ).delivered_total
+        v8 = evaluate_allocation(
+            b4_pathset, eight.split_ratios, tight_demands
+        ).delivered_total
+        assert v8 <= v1 * 1.02  # decomposition cannot beat the exact LP
+
+    def test_client_splitting_counts(self, b4_pathset, tight_demands):
+        allocation = Pop(num_replicas=4, split_threshold=0.05).allocate(
+            b4_pathset, tight_demands
+        )
+        assert allocation.extras["num_split_demands"] > 0
+
+    def test_charges_max_replica_time(self, b4_pathset, tight_demands):
+        allocation = Pop(num_replicas=4).allocate(b4_pathset, tight_demands)
+        assert allocation.compute_time >= allocation.extras["max_replica_solve_time"]
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            Pop(num_replicas=0)
+        with pytest.raises(SolverError):
+            Pop(split_threshold=0.0)
+
+
+class TestTeavarStar:
+    def test_allocation_feasible_nominally(self, b4_pathset, b4_demands):
+        allocation = TeavarStar(max_scenarios=12).allocate(
+            b4_pathset, b4_demands
+        )
+        report = evaluate_allocation(
+            b4_pathset, allocation.split_ratios, b4_demands
+        )
+        assert report.intended_mlu <= 1.0 + 1e-6
+
+    def test_more_conservative_than_lp_all(self, b4_pathset, tight_demands):
+        """Availability hedging sacrifices utilization (Figure 8)."""
+        teavar = TeavarStar(availability_weight=50.0, max_scenarios=20).allocate(
+            b4_pathset, tight_demands
+        )
+        lp = LpAll().allocate(b4_pathset, tight_demands)
+        t_val = evaluate_allocation(
+            b4_pathset, teavar.split_ratios, tight_demands
+        ).delivered_total
+        lp_val = evaluate_allocation(
+            b4_pathset, lp.split_ratios, tight_demands
+        ).delivered_total
+        assert t_val <= lp_val + 1e-6
+
+    def test_survives_failures_better(self, b4_pathset, tight_demands):
+        """Under failures, the hedged plan should retain relatively more."""
+        from repro.topology import sample_link_failures
+
+        failed = sample_link_failures(b4_pathset.topology, 1, seed=5)
+        caps = b4_pathset.topology.capacities.copy()
+        caps[failed] = 0.0
+
+        teavar = TeavarStar(availability_weight=50.0, max_scenarios=20)
+        t_alloc = teavar.allocate(b4_pathset, tight_demands)
+        t_nominal = evaluate_allocation(
+            b4_pathset, t_alloc.split_ratios, tight_demands
+        ).delivered_total
+        t_failed = evaluate_allocation(
+            b4_pathset, t_alloc.split_ratios, tight_demands, caps
+        ).delivered_total
+        # The hedged plan keeps most of its value under a single failure.
+        assert t_failed >= 0.5 * t_nominal
+
+    def test_scenario_cap(self, b4_pathset, b4_demands):
+        allocation = TeavarStar(max_scenarios=5).allocate(b4_pathset, b4_demands)
+        assert allocation.extras["num_scenarios"] == 5
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            TeavarStar(availability_weight=0.0)
+        with pytest.raises(SolverError):
+            TeavarStar(max_scenarios=0)

@@ -1,0 +1,164 @@
+"""Tests for model checkpointing, weight transfer, and data serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core import (
+    TealModel,
+    TealScheme,
+    load_model,
+    save_model,
+    transfer_weights,
+)
+from repro.exceptions import ModelError, ReproError
+from repro.io import load_topology, load_trace, save_topology, save_trace
+from repro.paths import PathSet
+from repro.topology import Topology, b4, swan
+from repro.traffic import TrafficTrace
+
+
+class TestCheckpoint:
+    def test_save_load_roundtrip(self, b4_pathset, b4_demands, tmp_path):
+        model = TealModel(b4_pathset, seed=3)
+        reference = model.split_ratios(b4_demands)
+        path = save_model(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+
+        fresh = TealModel(b4_pathset, seed=99)
+        assert not np.allclose(fresh.split_ratios(b4_demands), reference)
+        load_model(fresh, path)
+        assert np.allclose(fresh.split_ratios(b4_demands), reference)
+
+    def test_load_rejects_architecture_mismatch(self, b4_pathset, tmp_path):
+        model = TealModel(b4_pathset, seed=0)
+        path = save_model(model, tmp_path / "model")
+        from repro.config import TealHyperparameters
+
+        other = TealModel(
+            b4_pathset, hyper=TealHyperparameters(num_gnn_layers=4), seed=0
+        )
+        with pytest.raises(ModelError):
+            load_model(other, path)
+
+    def test_transfer_weights_across_topologies(self, b4_pathset):
+        """Teal's weights are topology-size agnostic (§3.2-§3.3, §4)."""
+        other_topology = swan(num_nodes=15, seed=2, capacity=90.0)
+        other_pathset = PathSet.from_topology(other_topology)
+        source = TealModel(b4_pathset, seed=0)
+        target = TealModel(other_pathset, seed=1)
+        copied = transfer_weights(source, target)
+        assert copied == len(source.parameters())
+        for a, b in zip(source.parameters(), target.parameters()):
+            assert np.allclose(a.data, b.data)
+
+    def test_transfer_rejects_different_architectures(self, b4_pathset):
+        from repro.config import TealHyperparameters
+
+        source = TealModel(b4_pathset, seed=0)
+        target = TealModel(
+            b4_pathset, hyper=TealHyperparameters(num_gnn_layers=3), seed=0
+        )
+        with pytest.raises(ModelError):
+            transfer_weights(source, target)
+
+
+class TestRetraining:
+    def test_retrain_for_new_topology(self):
+        """§4: retraining warm-starts from the old weights and recovers
+        performance on the updated topology quickly."""
+        from repro.simulation import evaluate_allocation
+
+        old_topology = b4(capacity=80.0)
+        old_pathset = PathSet.from_topology(old_topology)
+        trace = TrafficTrace.generate(12, 14, seed=6)
+        teal = TealScheme(old_pathset, seed=0)
+        teal.train(
+            trace.matrices[:10],
+            config=TrainingConfig(steps=10, warm_start_steps=80, log_every=30),
+        )
+
+        # Permanent change: add a node connected to sites 0 and 6.
+        new_edges = old_topology.edges + [(0, 12), (12, 0), (6, 12), (12, 6)]
+        new_topology = Topology(13, new_edges, capacities=80.0, name="B4+1")
+        new_pathset = PathSet.from_topology(new_topology)
+        new_trace = TrafficTrace.generate(13, 10, seed=7)
+
+        retrained = teal.retrain_for(
+            new_pathset,
+            new_trace.matrices[:8],
+            config=TrainingConfig(steps=5, warm_start_steps=30, log_every=10),
+        )
+        demands = new_pathset.demand_volumes(new_trace[9].values)
+        allocation = retrained.allocate(new_pathset, demands)
+        report = evaluate_allocation(
+            new_pathset, allocation.split_ratios, demands
+        )
+        assert report.satisfied_fraction > 0.4
+        assert retrained.pathset is new_pathset
+
+    def test_warm_start_better_than_cold_at_same_budget(self):
+        """The value of §4's warm start: same tiny budget, better result."""
+        from repro.lp import TotalFlowObjective
+
+        topology = b4(capacity=60.0)
+        pathset = PathSet.from_topology(topology)
+        trace = TrafficTrace.generate(12, 16, seed=8)
+        budget = TrainingConfig(steps=0, warm_start_steps=15, log_every=10)
+
+        donor = TealScheme(pathset, seed=0)
+        donor.train(
+            trace.matrices[:10],
+            config=TrainingConfig(steps=0, warm_start_steps=150, log_every=50),
+        )
+        warm = donor.retrain_for(pathset, trace.matrices[:10], config=budget)
+        cold = TealScheme(pathset, seed=5)
+        cold.train(trace.matrices[:10], config=budget)
+
+        objective = TotalFlowObjective()
+        demands = pathset.demand_volumes(trace[12].values)
+        warm_value = objective.evaluate(
+            pathset, warm.allocate(pathset, demands).split_ratios, demands
+        )
+        cold_value = objective.evaluate(
+            pathset, cold.allocate(pathset, demands).split_ratios, demands
+        )
+        assert warm_value >= cold_value * 0.95
+
+
+class TestTopologyIo:
+    def test_roundtrip(self, tmp_path):
+        topology = swan(num_nodes=12, seed=4, capacity=55.0)
+        path = save_topology(topology, tmp_path / "swan")
+        loaded = load_topology(path)
+        assert loaded == topology
+        assert loaded.name == topology.name
+
+    def test_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_topology(bad)
+
+    def test_unknown_format(self, tmp_path):
+        bad = tmp_path / "v99.json"
+        bad.write_text('{"format": 99}')
+        with pytest.raises(ReproError):
+            load_topology(bad)
+
+
+class TestTraceIo:
+    def test_roundtrip(self, tmp_path):
+        trace = TrafficTrace.generate(8, 6, seed=11)
+        path = save_trace(trace, tmp_path / "trace")
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a.interval == b.interval
+            assert np.allclose(a.values, b.values)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_trace(tmp_path / "nope.npz")

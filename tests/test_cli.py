@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_topologies_defaults(self):
+        args = build_parser().parse_args(["topologies"])
+        assert args.scale == 1.0
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "--topology", "B4", "--matrices", "2"]
+        )
+        assert args.topology == "B4"
+        assert args.matrices == 2
+
+    def test_failures_counts(self):
+        args = build_parser().parse_args(
+            ["failures", "--counts", "0", "1", "2"]
+        )
+        assert args.counts == [0, 1, 2]
+
+
+class TestCommands:
+    def test_topologies_runs(self, capsys):
+        assert main(["topologies", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("B4", "SWAN", "UsCarrier", "Kdl", "ASN"):
+            assert name in out
+
+    def test_compare_runs_small(self, capsys):
+        code = main(
+            ["compare", "--topology", "B4", "--matrices", "1", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Teal" in out
+        assert "LP-all" in out
+
+    def test_train_runs_small(self, capsys):
+        code = main(
+            [
+                "train",
+                "--topology",
+                "B4",
+                "--steps",
+                "2",
+                "--warm-start-steps",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "satisfied" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for the fallback combinator (§5.4) and the reference baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import EqualSplit, LpAll, ShortestPath
+from repro.exceptions import SimulationError
+from repro.lp import TotalFlowObjective
+from repro.simulation import FallbackScheme, evaluate_allocation
+
+
+class ConstantScheme:
+    """Test double with a fixed allocation quality."""
+
+    def __init__(self, ratio_on_first: float, name: str) -> None:
+        self.ratio = ratio_on_first
+        self.name = name
+
+    def allocate(self, pathset, demands, capacities=None):
+        from repro.simulation import Allocation
+
+        ratios = np.zeros((pathset.num_demands, pathset.max_paths))
+        ratios[:, 0] = self.ratio
+        return Allocation(
+            split_ratios=ratios * pathset.path_mask,
+            compute_time=0.001,
+            scheme=self.name,
+        )
+
+
+class TestReferenceBaselines:
+    def test_shortest_path_all_on_first(self, b4_pathset, b4_demands):
+        allocation = ShortestPath().allocate(b4_pathset, b4_demands)
+        assert np.allclose(allocation.split_ratios[:, 0], 1.0)
+        assert np.allclose(allocation.split_ratios[:, 1:], 0.0)
+
+    def test_equal_split_uniform(self, b4_pathset, b4_demands):
+        allocation = EqualSplit().allocate(b4_pathset, b4_demands)
+        counts = b4_pathset.path_mask.sum(axis=1)
+        expected = 1.0 / counts
+        assert np.allclose(
+            allocation.split_ratios[np.arange(len(counts)), 0], expected
+        )
+        sums = allocation.split_ratios.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_lp_beats_reference_floors(self, b4_pathset, b4_trace):
+        heavy = b4_pathset.demand_volumes(b4_trace[0].scaled(3.0).values)
+        lp = LpAll().allocate(b4_pathset, heavy)
+        lp_value = evaluate_allocation(
+            b4_pathset, lp.split_ratios, heavy
+        ).delivered_total
+        for scheme in (ShortestPath(), EqualSplit()):
+            allocation = scheme.allocate(b4_pathset, heavy)
+            value = evaluate_allocation(
+                b4_pathset, allocation.split_ratios, heavy
+            ).delivered_total
+            assert lp_value >= value - 1e-6
+
+
+class TestFallbackScheme:
+    def test_prefers_primary_when_better(self, b4_pathset, b4_demands):
+        good = ConstantScheme(1.0, "good")
+        bad = ConstantScheme(0.1, "bad")
+        fallback = FallbackScheme(good, bad, window=2)
+        for _ in range(4):
+            allocation = fallback.allocate(b4_pathset, b4_demands)
+            assert allocation.extras["deployed"] == "primary"
+        assert not fallback.using_safety
+
+    def test_switches_after_consecutive_safety_wins(
+        self, b4_pathset, b4_demands
+    ):
+        bad = ConstantScheme(0.1, "bad")
+        good = ConstantScheme(1.0, "good")
+        fallback = FallbackScheme(bad, good, window=3)
+        deployments = []
+        for _ in range(5):
+            allocation = fallback.allocate(b4_pathset, b4_demands)
+            deployments.append(allocation.extras["deployed"])
+        assert deployments[:3] == ["primary", "primary", "safety"]
+        assert fallback.using_safety
+
+    def test_switches_back_when_primary_recovers(self, b4_pathset, b4_demands):
+        primary = ConstantScheme(0.1, "flaky")
+        safety = ConstantScheme(0.5, "steady")
+        fallback = FallbackScheme(primary, safety, window=2)
+        for _ in range(3):
+            fallback.allocate(b4_pathset, b4_demands)
+        assert fallback.using_safety
+        primary.ratio = 1.0  # primary recovers
+        for _ in range(3):
+            allocation = fallback.allocate(b4_pathset, b4_demands)
+        assert allocation.extras["deployed"] == "primary"
+        assert not fallback.using_safety
+
+    def test_charges_concurrent_time(self, b4_pathset, b4_demands):
+        fallback = FallbackScheme(
+            ConstantScheme(1.0, "a"), ConstantScheme(0.5, "b")
+        )
+        allocation = fallback.allocate(b4_pathset, b4_demands)
+        assert allocation.compute_time == pytest.approx(
+            max(
+                allocation.extras["primary_time"],
+                allocation.extras["safety_time"],
+            )
+        )
+
+    def test_validation(self):
+        a = ConstantScheme(1.0, "a")
+        b = ConstantScheme(0.5, "b")
+        with pytest.raises(SimulationError):
+            FallbackScheme(a, b, window=0)
+        with pytest.raises(SimulationError):
+            FallbackScheme(a, b, margin=-0.1)
+
+    def test_margin_suppresses_noise_switching(self, b4_pathset, b4_demands):
+        primary = ConstantScheme(0.98, "primary")
+        safety = ConstantScheme(1.0, "safety")  # only ~2% better
+        fallback = FallbackScheme(primary, safety, window=2, margin=0.05)
+        for _ in range(4):
+            allocation = fallback.allocate(b4_pathset, b4_demands)
+        assert allocation.extras["deployed"] == "primary"

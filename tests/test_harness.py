@@ -1,0 +1,108 @@
+"""Tests for the shared experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.exceptions import ReproError
+from repro.harness import (
+    BENCH_SCALES,
+    Scenario,
+    build_scenario,
+    clear_caches,
+    make_baselines,
+    run_offline_comparison,
+    trained_teal,
+)
+
+
+@pytest.fixture(scope="module")
+def b4_scenario() -> Scenario:
+    clear_caches()
+    return build_scenario("B4", train=8, validation=2, test=4)
+
+
+class TestBuildScenario:
+    def test_scenario_components(self, b4_scenario):
+        assert b4_scenario.topology.num_nodes == 12
+        assert len(b4_scenario.split.train) == 8
+        assert len(b4_scenario.split.test) == 4
+        assert b4_scenario.pathset.topology is b4_scenario.topology
+
+    def test_capacities_provisioned(self, b4_scenario):
+        """§5.1 calibration: the LP satisfies a majority of demand."""
+        from repro.baselines import LpAll
+        from repro.simulation import evaluate_allocation
+
+        matrix = b4_scenario.split.test[0]
+        demands = b4_scenario.demands(matrix)
+        allocation = LpAll().allocate(b4_scenario.pathset, demands)
+        report = evaluate_allocation(
+            b4_scenario.pathset, allocation.split_ratios, demands
+        )
+        assert report.satisfied_fraction > 0.5
+
+    def test_cache_returns_same_object(self):
+        a = build_scenario("B4", train=8, validation=2, test=4)
+        b = build_scenario("B4", train=8, validation=2, test=4)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = build_scenario("B4", train=8, validation=2, test=4)
+        b = build_scenario("B4", train=8, validation=2, test=4, use_cache=False)
+        assert a is not b
+
+    def test_all_bench_scales_defined(self):
+        assert set(BENCH_SCALES) == {"B4", "SWAN", "UsCarrier", "Kdl", "ASN"}
+
+    def test_demand_extraction(self, b4_scenario):
+        demands = b4_scenario.demands(b4_scenario.split.train[0])
+        assert demands.shape == (b4_scenario.pathset.num_demands,)
+
+
+class TestMakeBaselines:
+    def test_default_set(self, b4_scenario):
+        schemes = make_baselines(b4_scenario)
+        assert set(schemes) == {"LP-all", "LP-top", "NCFlow", "POP"}
+
+    def test_teavar_included_on_request(self, b4_scenario):
+        schemes = make_baselines(b4_scenario, include=("TEAVAR*",))
+        assert "TEAVAR*" in schemes
+
+    def test_unknown_scheme_rejected(self, b4_scenario):
+        with pytest.raises(ReproError):
+            make_baselines(b4_scenario, include=("Mystery",))
+
+
+class TestTrainedTeal:
+    def test_training_and_cache(self, b4_scenario):
+        config = TrainingConfig(steps=4, warm_start_steps=20, log_every=4)
+        a = trained_teal(b4_scenario, config=config)
+        b = trained_teal(b4_scenario, config=config)
+        assert a is b
+        assert a.trained
+
+    def test_runs_comparison(self, b4_scenario):
+        config = TrainingConfig(steps=4, warm_start_steps=20, log_every=4)
+        teal = trained_teal(b4_scenario, config=config)
+        schemes = {"Teal": teal, **make_baselines(b4_scenario, include=("LP-all",))}
+        runs = run_offline_comparison(
+            b4_scenario, schemes, matrices=b4_scenario.split.test[:2]
+        )
+        assert set(runs) == {"Teal", "LP-all"}
+        for run in runs.values():
+            assert len(run.satisfied) == 2
+            assert all(0 <= s <= 1 for s in run.satisfied)
+
+    def test_lp_all_quality_dominates(self, b4_scenario):
+        """LP-all is offline-optimal: nothing beats it on satisfied demand."""
+        config = TrainingConfig(steps=4, warm_start_steps=30, log_every=4)
+        teal = trained_teal(b4_scenario, config=config)
+        schemes = {"Teal": teal, **make_baselines(b4_scenario)}
+        runs = run_offline_comparison(
+            b4_scenario, schemes, matrices=b4_scenario.split.test[:2]
+        )
+        best = max(run.mean_satisfied for run in runs.values())
+        assert runs["LP-all"].mean_satisfied >= best - 1e-6

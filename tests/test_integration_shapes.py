@@ -1,0 +1,117 @@
+"""End-to-end integration tests of the paper's headline shapes.
+
+Miniature versions of the benchmark assertions so that ``pytest tests/``
+alone validates the reproduction's qualitative claims (the benchmarks
+re-check them at larger scale with timing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.harness import (
+    build_scenario,
+    make_baselines,
+    run_offline_comparison,
+    run_online_comparison,
+    scaled_te_interval,
+    trained_teal,
+)
+
+_BUDGET = TrainingConfig(steps=20, warm_start_steps=120, log_every=60, failure_rate=0.2)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        "SWAN", scale=0.18, train=16, validation=4, test=6, max_pairs=306
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(scenario):
+    schemes = dict(make_baselines(scenario))
+    schemes["Teal"] = trained_teal(scenario, config=_BUDGET)
+    return run_offline_comparison(
+        scenario, schemes, matrices=scenario.split.test[:3]
+    ), schemes
+
+
+class TestHeadlineShapes:
+    def test_lp_all_is_offline_optimal(self, runs):
+        results, _ = runs
+        best = max(r.mean_satisfied for r in results.values())
+        assert results["LP-all"].mean_satisfied >= best - 1e-9
+
+    def test_teal_beats_decomposition_baselines(self, runs):
+        results, _ = runs
+        assert results["Teal"].mean_satisfied >= results["NCFlow"].mean_satisfied
+        assert (
+            results["Teal"].mean_satisfied
+            >= results["POP"].mean_satisfied - 0.05
+        )
+
+    def test_teal_faster_than_lp_schemes(self, runs):
+        results, _ = runs
+        assert (
+            results["Teal"].mean_compute_time
+            < results["LP-all"].mean_compute_time
+        )
+        assert (
+            results["Teal"].mean_compute_time
+            < results["LP-top"].mean_compute_time
+        )
+
+    def test_teal_near_optimal(self, runs):
+        results, _ = runs
+        assert (
+            results["Teal"].mean_satisfied
+            >= results["LP-all"].mean_satisfied - 0.2
+        )
+
+    def test_teal_runtime_stable(self, runs):
+        """Figure 7a's shape: Teal's compute time barely varies."""
+        results, _ = runs
+        teal = results["Teal"]
+        spread = teal.time_percentile(100) / max(teal.time_percentile(0), 1e-9)
+        assert spread < 5.0
+
+    def test_online_staleness_penalizes_lp_all(self, runs, scenario):
+        """Figure 18's mechanism at miniature scale."""
+        results, schemes = runs
+        interval = scaled_te_interval(results)
+        online = run_online_comparison(
+            scenario,
+            {"Teal": schemes["Teal"], "LP-all": schemes["LP-all"]},
+            interval_seconds=interval,
+            matrices=scenario.split.test,
+        )
+        assert online["Teal"].stale_fraction == 0.0
+        assert online["LP-all"].stale_fraction > 0.0
+        # Online, fresh Teal closes (or flips) the offline quality gap.
+        offline_gap = (
+            results["LP-all"].mean_satisfied - results["Teal"].mean_satisfied
+        )
+        online_gap = (
+            online["LP-all"].mean_satisfied - online["Teal"].mean_satisfied
+        )
+        assert online_gap <= offline_gap + 0.02
+
+    def test_failure_reaction_without_retraining(self, runs, scenario):
+        """§5.3: capacity-only reaction keeps most of the demand."""
+        results, schemes = runs
+        teal = schemes["Teal"]
+        caps = scenario.capacities.copy()
+        caps[: max(2, len(caps) // 20)] = 0.0
+        matrix = scenario.split.test[0]
+        demands = scenario.demands(matrix)
+        allocation = teal.allocate(scenario.pathset, demands, caps)
+        from repro.simulation import evaluate_allocation
+
+        report = evaluate_allocation(
+            scenario.pathset, allocation.split_ratios, demands, caps
+        )
+        nominal = results["Teal"].mean_satisfied
+        assert report.satisfied_fraction >= 0.5 * nominal

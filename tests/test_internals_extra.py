@@ -1,0 +1,123 @@
+"""Additional unit tests: internals not covered by the main suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlowGNN, TealModel
+from repro.core.coma import masked_softmax_np, sample_training_capacities
+from repro.config import TrainingConfig
+from repro.exceptions import ReproError
+from repro.harness import scaled_te_interval
+from repro.simulation.metrics import SchemeRun
+
+
+class TestFlowGnnInternals:
+    def test_layer_dims_grow_by_one(self, b4_pathset):
+        """§4: the embedding grows by one element per layer (1..L)."""
+        gnn = FlowGNN(b4_pathset, num_layers=5)
+        for layer_index, (gnn_layer, dnn_layer) in enumerate(
+            zip(gnn.gnn_layers, gnn.dnn_layers)
+        ):
+            assert gnn_layer.dim == layer_index + 1
+            assert dnn_layer.dim == layer_index + 1
+            # Update layers see [own, aggregated] -> 2*dim inputs.
+            assert gnn_layer.edge_update.in_features == 2 * (layer_index + 1)
+
+    def test_aggregation_normalizers(self, b4_pathset):
+        gnn = FlowGNN(b4_pathset, num_layers=2)
+        degrees = np.asarray(
+            b4_pathset.edge_path_incidence.sum(axis=1)
+        ).reshape(-1, 1)
+        assert np.allclose(gnn.edge_scale, 1.0 / np.maximum(degrees, 1.0))
+
+    def test_policy_parameter_count_is_paper_scale(self, b4_pathset):
+        """§3.3: the shared policy is tiny (24->24->4 plus log-std)."""
+        model = TealModel(b4_pathset)
+        policy_params = sum(p.size for p in model.policy.parameters())
+        # 24*24 + 24 + 24*4 + 4 + log_std(4) = 728
+        assert policy_params == 24 * 24 + 24 + 24 * 4 + 4 + 4
+
+    def test_policy_size_independent_of_topology(
+        self, b4_pathset, small_swan_pathset
+    ):
+        a = TealModel(b4_pathset)
+        b = TealModel(small_swan_pathset)
+        assert sum(p.size for p in a.parameters()) == sum(
+            p.size for p in b.parameters()
+        )
+
+
+class TestMaskedSoftmaxProperties:
+    @given(
+        logits=st.lists(
+            st.lists(st.floats(-50, 50), min_size=4, max_size=4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rows_are_distributions(self, logits):
+        arr = np.array(logits)
+        mask = np.ones_like(arr, dtype=bool)
+        out = masked_softmax_np(arr, mask)
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_all_masked_row_is_zero(self):
+        out = masked_softmax_np(
+            np.zeros((1, 4)), np.zeros((1, 4), dtype=bool)
+        )
+        assert np.allclose(out, 0.0)
+
+
+class TestFailureAugmentation:
+    def test_zero_rate_returns_same_array(self, b4_pathset):
+        caps = b4_pathset.topology.capacities
+        config = TrainingConfig(failure_rate=0.0)
+        rng = np.random.default_rng(0)
+        out = sample_training_capacities(b4_pathset, caps, config, rng)
+        assert out is caps
+
+    def test_full_rate_fails_links(self, b4_pathset):
+        caps = b4_pathset.topology.capacities
+        config = TrainingConfig(failure_rate=1.0, max_training_failures=2)
+        rng = np.random.default_rng(1)
+        out = sample_training_capacities(b4_pathset, caps, config, rng)
+        failed = (out == 0).sum()
+        assert failed in (2, 4)  # 1 or 2 physical links, both directions
+        assert caps.min() > 0  # original untouched
+
+
+class TestScaledInterval:
+    def test_geometric_mean(self):
+        runs = {"Teal": SchemeRun("Teal"), "LP-all": SchemeRun("LP-all")}
+        runs["Teal"].add(0.9, 0.01)
+        runs["LP-all"].add(0.9, 1.0)
+        assert scaled_te_interval(runs) == pytest.approx(0.1)
+
+    def test_requires_both_schemes(self):
+        runs = {"Teal": SchemeRun("Teal")}
+        runs["Teal"].add(0.9, 0.01)
+        with pytest.raises(ReproError):
+            scaled_te_interval(runs)
+
+    def test_slow_never_below_fast(self):
+        runs = {"Teal": SchemeRun("Teal"), "LP-all": SchemeRun("LP-all")}
+        runs["Teal"].add(0.9, 1.0)
+        runs["LP-all"].add(0.9, 0.001)  # pathological ordering
+        interval = scaled_te_interval(runs)
+        assert interval >= 1.0  # clamped so the "slow" scheme >= fast
+
+
+class TestTsneQualityDiagnostic:
+    def test_kl_divergence_nonnegative_zero_on_match(self):
+        from repro.analysis import kl_divergence
+
+        p = np.array([[0.2, 0.8], [0.5, 0.5]])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+        q = np.array([[0.8, 0.2], [0.5, 0.5]])
+        assert kl_divergence(p, q) > 0

@@ -1,0 +1,196 @@
+"""Tests for LP formulation, objectives, and the HiGHS solver wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.lp import (
+    DelayPenalizedFlowObjective,
+    MinMaxLinkUtilizationObjective,
+    TotalFlowObjective,
+    build_flow_lp,
+    build_lp,
+    build_mlu_lp,
+    build_restricted_flow_lp,
+    demand_constraint_matrix,
+    get_objective,
+    lp_split_ratios,
+    solve_lp,
+    solve_te_lp,
+)
+from repro.paths import PathSet
+from repro.simulation import evaluate_allocation
+from repro.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def two_path_pathset():
+    """0->2 via two disjoint 2-hop paths with capacities 5 and 3."""
+    edges = [(0, 1), (1, 2), (0, 3), (3, 2)]
+    topo = Topology(4, edges, capacities=[5.0, 5.0, 3.0, 3.0])
+    return PathSet.from_topology(topo, pairs=[(0, 2)])
+
+
+class TestObjectives:
+    def test_registry(self):
+        assert get_objective("total_flow").name == "total_flow"
+        assert get_objective("min_mlu").sense == "min"
+        with pytest.raises(SolverError):
+            get_objective("nope")
+
+    def test_total_flow_evaluate(self, two_path_pathset):
+        ratios = np.zeros((1, 4))
+        ratios[0, :2] = [0.5, 0.5]
+        obj = TotalFlowObjective()
+        value = obj.evaluate(two_path_pathset, ratios, np.array([4.0]))
+        assert value == pytest.approx(4.0)
+
+    def test_total_flow_reward_sign(self, two_path_pathset):
+        obj = TotalFlowObjective()
+        ratios = np.zeros((1, 4))
+        ratios[0, 0] = 1.0
+        demands = np.array([4.0])
+        assert obj.reward(two_path_pathset, ratios, demands) == pytest.approx(
+            obj.evaluate(two_path_pathset, ratios, demands)
+        )
+
+    def test_mlu_reward_negated(self, two_path_pathset):
+        obj = MinMaxLinkUtilizationObjective()
+        ratios = np.zeros((1, 4))
+        ratios[0, 0] = 1.0
+        demands = np.array([4.0])
+        assert obj.reward(two_path_pathset, ratios, demands) == pytest.approx(
+            -obj.evaluate(two_path_pathset, ratios, demands)
+        )
+
+    def test_mlu_normalizes_ratios(self, two_path_pathset):
+        obj = MinMaxLinkUtilizationObjective()
+        # Ratios summing to 0.5 must be renormalized to route everything:
+        # half weight on one path == full weight on that path after
+        # normalization.
+        half = np.zeros((1, 4))
+        half[0, 0] = 0.5
+        full = np.zeros((1, 4))
+        full[0, 0] = 1.0
+        demands = np.array([5.0])
+        assert obj.evaluate(two_path_pathset, half, demands) == pytest.approx(
+            obj.evaluate(two_path_pathset, full, demands)
+        )
+
+    def test_delay_penalized_path_values(self, b4_pathset):
+        obj = DelayPenalizedFlowObjective(beta=0.5)
+        values = obj.path_values(b4_pathset)
+        assert values.shape == (b4_pathset.num_paths,)
+        assert np.all(values <= 1.0 + 1e-12)
+        # Shortest path of each demand gets full value.
+        shortest = b4_pathset.demand_path_ids[:, 0]
+        assert np.allclose(values[shortest], 1.0)
+
+    def test_delay_penalized_validation(self):
+        with pytest.raises(SolverError):
+            DelayPenalizedFlowObjective(beta=-0.1)
+
+    def test_flow_objective_has_no_mlu_path_values(self, b4_pathset):
+        with pytest.raises(SolverError):
+            MinMaxLinkUtilizationObjective().path_values(b4_pathset)
+
+
+class TestFormulation:
+    def test_demand_constraint_matrix(self, b4_pathset):
+        matrix = demand_constraint_matrix(b4_pathset)
+        assert matrix.shape == (b4_pathset.num_demands, b4_pathset.num_paths)
+        row_sums = np.asarray(matrix.sum(axis=1)).reshape(-1)
+        expected = b4_pathset.path_mask.sum(axis=1)
+        assert np.array_equal(row_sums, expected)
+
+    def test_flow_lp_shapes(self, b4_pathset, b4_demands):
+        program = build_flow_lp(b4_pathset, b4_demands, TotalFlowObjective())
+        assert program.c.shape == (b4_pathset.num_paths,)
+        assert program.a_ub.shape == (
+            b4_pathset.num_demands + 38,
+            b4_pathset.num_paths,
+        )
+
+    def test_mlu_lp_has_aux_variable(self, b4_pathset, b4_demands):
+        program = build_mlu_lp(b4_pathset, b4_demands)
+        assert program.c.shape == (b4_pathset.num_paths + 1,)
+        assert program.num_path_vars == b4_pathset.num_paths
+
+    def test_mlu_lp_rejects_subset(self, b4_pathset, b4_demands):
+        with pytest.raises(SolverError):
+            build_lp(
+                b4_pathset,
+                b4_demands,
+                MinMaxLinkUtilizationObjective(),
+                demand_subset=np.array([0]),
+            )
+
+    def test_restricted_lp_smaller(self, b4_pathset, b4_demands):
+        subset = np.arange(10)
+        program, path_ids = build_restricted_flow_lp(
+            b4_pathset,
+            b4_demands,
+            TotalFlowObjective(),
+            b4_pathset.topology.capacities,
+            subset,
+        )
+        assert program.c.shape[0] == len(path_ids)
+        assert len(path_ids) < b4_pathset.num_paths
+
+    def test_restricted_lp_empty_subset(self, b4_pathset, b4_demands):
+        with pytest.raises(SolverError):
+            build_restricted_flow_lp(
+                b4_pathset,
+                b4_demands,
+                TotalFlowObjective(),
+                b4_pathset.topology.capacities,
+                np.array([], dtype=int),
+            )
+
+
+class TestSolver:
+    def test_two_path_optimum(self, two_path_pathset):
+        """Max flow 0->2 = 5 + 3 = 8 regardless of demand above 8."""
+        solution = solve_te_lp(
+            two_path_pathset, np.array([20.0]), TotalFlowObjective()
+        )
+        assert solution.objective_value == pytest.approx(8.0)
+
+    def test_demand_bounded(self, two_path_pathset):
+        solution = solve_te_lp(
+            two_path_pathset, np.array([2.0]), TotalFlowObjective()
+        )
+        assert solution.objective_value == pytest.approx(2.0)
+
+    def test_lp_solution_is_feasible(self, b4_pathset, b4_demands):
+        solution = solve_te_lp(b4_pathset, b4_demands, TotalFlowObjective())
+        ratios = lp_split_ratios(b4_pathset, solution, b4_demands)
+        report = evaluate_allocation(b4_pathset, ratios, b4_demands)
+        # Optimal LP flow should survive feasibility enforcement intact.
+        assert report.delivered_total == pytest.approx(
+            solution.objective_value, rel=1e-6
+        )
+
+    def test_lp_beats_shortest_path(self, b4_pathset, b4_trace):
+        heavy = b4_pathset.demand_volumes(b4_trace[0].scaled(3.0).values)
+        lp = solve_te_lp(b4_pathset, heavy, TotalFlowObjective())
+        sp_ratios = np.zeros((b4_pathset.num_demands, 4))
+        sp_ratios[:, 0] = 1.0
+        sp_report = evaluate_allocation(b4_pathset, sp_ratios, heavy)
+        assert lp.objective_value >= sp_report.delivered_total - 1e-6
+
+    def test_mlu_solution(self, two_path_pathset):
+        solution = solve_te_lp(
+            two_path_pathset, np.array([8.0]), MinMaxLinkUtilizationObjective()
+        )
+        # Perfect balance: 5 on cap-5 and 3 on cap-3 -> MLU = 1.0.
+        assert solution.objective_value == pytest.approx(1.0, abs=1e-6)
+
+    def test_solution_metadata(self, two_path_pathset):
+        solution = solve_te_lp(
+            two_path_pathset, np.array([4.0]), TotalFlowObjective()
+        )
+        assert solution.solve_time > 0
+        assert solution.status

@@ -1,0 +1,120 @@
+"""Unit tests for the Topology substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import Topology
+
+
+def test_basic_construction():
+    topo = Topology(3, [(0, 1), (1, 2), (2, 0)], capacities=5.0)
+    assert topo.num_nodes == 3
+    assert topo.num_edges == 3
+    assert topo.capacity(0, 1) == 5.0
+    assert topo.edge_id(1, 2) == 1
+    assert topo.endpoints(2) == (2, 0)
+
+
+def test_per_edge_capacities_and_latencies():
+    topo = Topology(
+        3,
+        [(0, 1), (1, 2)],
+        capacities=[1.0, 2.0],
+        latencies=[3.0, 4.0],
+    )
+    assert topo.capacities.tolist() == [1.0, 2.0]
+    assert topo.latencies.tolist() == [3.0, 4.0]
+
+
+def test_rejects_self_loop():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 0)])
+
+
+def test_rejects_duplicate_edge():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 1), (0, 1)])
+
+
+def test_rejects_out_of_range_node():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 2)])
+
+
+def test_rejects_negative_capacity():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 1)], capacities=[-1.0])
+
+
+def test_rejects_capacity_shape_mismatch():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 1)], capacities=[1.0, 2.0])
+
+
+def test_rejects_nonpositive_num_nodes():
+    with pytest.raises(TopologyError):
+        Topology(0, [])
+
+
+def test_missing_edge_raises():
+    topo = Topology(3, [(0, 1)])
+    with pytest.raises(TopologyError):
+        topo.edge_id(1, 0)
+
+
+def test_adjacency_indexes():
+    topo = Topology(3, [(0, 1), (0, 2), (1, 2)])
+    assert topo.out_edges(0) == [(0, 1), (1, 2)]
+    assert topo.in_edges(2) == [(1, 0), (2, 1)]
+    assert sorted(topo.neighbors(0)) == [1, 2]
+
+
+def test_with_failed_edges_zeroes_capacity():
+    topo = Topology(3, [(0, 1), (1, 2)], capacities=7.0)
+    failed = topo.with_failed_edges([0])
+    assert failed.capacities[0] == 0.0
+    assert failed.capacities[1] == 7.0
+    # Original untouched.
+    assert topo.capacities[0] == 7.0
+
+
+def test_with_failed_edges_bad_id():
+    topo = Topology(3, [(0, 1)])
+    with pytest.raises(TopologyError):
+        topo.with_failed_edges([5])
+
+
+def test_scaled_capacities():
+    topo = Topology(2, [(0, 1)], capacities=4.0)
+    assert topo.scaled_capacities(0.5).capacities[0] == 2.0
+    with pytest.raises(TopologyError):
+        topo.scaled_capacities(-1.0)
+
+
+def test_networkx_roundtrip():
+    topo = Topology(
+        3, [(0, 1), (1, 2)], capacities=[1.0, 2.0], latencies=[5.0, 6.0]
+    )
+    back = Topology.from_networkx(topo.to_networkx(), name="rt")
+    assert back == topo
+
+
+def test_strong_connectivity(b4_topology):
+    assert b4_topology.is_strongly_connected()
+
+
+def test_equality_and_repr():
+    a = Topology(2, [(0, 1)], capacities=1.0, name="a")
+    b = Topology(2, [(0, 1)], capacities=1.0, name="b")
+    c = Topology(2, [(0, 1)], capacities=2.0)
+    assert a == b  # names do not affect equality
+    assert a != c
+    assert "nodes=2" in repr(a)
+
+
+def test_total_capacity():
+    topo = Topology(3, [(0, 1), (1, 2)], capacities=[1.5, 2.5])
+    assert topo.total_capacity() == pytest.approx(4.0)

@@ -1,0 +1,105 @@
+"""Tests for graph partitioning (NCFlow substrate) and failure models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    apply_failures,
+    bfs_balanced_partition,
+    cut_edges,
+    failure_scenarios,
+    partition_quality,
+    physical_links,
+    sample_link_failures,
+)
+
+
+class TestPartition:
+    def test_labels_cover_all_nodes(self, b4_topology):
+        labels = bfs_balanced_partition(b4_topology, 3)
+        assert labels.shape == (12,)
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_single_cluster(self, b4_topology):
+        labels = bfs_balanced_partition(b4_topology, 1)
+        assert np.all(labels == 0)
+
+    def test_balance(self, small_swan):
+        labels = bfs_balanced_partition(small_swan, 4)
+        sizes = np.bincount(labels)
+        assert sizes.max() - sizes.min() <= small_swan.num_nodes // 2
+
+    def test_deterministic_given_seed(self, b4_topology):
+        a = bfs_balanced_partition(b4_topology, 3, seed=5)
+        b = bfs_balanced_partition(b4_topology, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_cluster_count(self, b4_topology):
+        with pytest.raises(TopologyError):
+            bfs_balanced_partition(b4_topology, 0)
+        with pytest.raises(TopologyError):
+            bfs_balanced_partition(b4_topology, 13)
+
+    def test_cut_edges_cross_clusters(self, b4_topology):
+        labels = bfs_balanced_partition(b4_topology, 3)
+        for eid in cut_edges(b4_topology, labels):
+            u, v = b4_topology.endpoints(eid)
+            assert labels[u] != labels[v]
+
+    def test_cut_edges_label_shape(self, b4_topology):
+        with pytest.raises(TopologyError):
+            cut_edges(b4_topology, np.zeros(5))
+
+    def test_partition_quality_fields(self, b4_topology):
+        labels = bfs_balanced_partition(b4_topology, 2)
+        quality = partition_quality(b4_topology, labels)
+        assert quality["num_clusters"] == 2
+        assert 0 <= quality["cut_fraction"] <= 1
+
+
+class TestFailures:
+    def test_physical_links_undirected(self, b4_topology):
+        links = physical_links(b4_topology)
+        assert len(links) == b4_topology.num_edges // 2
+        assert all(u < v for u, v in links)
+
+    def test_sample_fails_both_directions(self, b4_topology):
+        failed = sample_link_failures(b4_topology, 2, seed=1)
+        assert len(failed) == 4  # two physical links, both directions
+        pairs = {b4_topology.endpoints(e) for e in failed}
+        for u, v in list(pairs):
+            assert (v, u) in pairs
+
+    def test_sample_zero_failures(self, b4_topology):
+        assert sample_link_failures(b4_topology, 0) == []
+
+    def test_sample_too_many_failures(self, b4_topology):
+        with pytest.raises(TopologyError):
+            sample_link_failures(b4_topology, 100)
+
+    def test_sample_negative(self, b4_topology):
+        with pytest.raises(TopologyError):
+            sample_link_failures(b4_topology, -1)
+
+    def test_apply_failures_zeroes_capacity(self, b4_topology):
+        failed_topo = apply_failures(b4_topology, 2, seed=3)
+        assert (failed_topo.capacities == 0).sum() == 4
+        assert b4_topology.capacities.min() > 0  # original intact
+
+    def test_failure_scenarios_probabilities(self, b4_topology):
+        scenarios = failure_scenarios(b4_topology, 0.01)
+        probs = [p for p, _ in scenarios]
+        assert abs(sum(probs) - 1.0) < 1e-9
+        # No-failure scenario dominates at low failure probability.
+        assert probs[0] == max(probs)
+        # One scenario per physical link plus the no-failure scenario.
+        assert len(scenarios) == len(physical_links(b4_topology)) + 1
+
+    def test_failure_scenarios_validation(self, b4_topology):
+        with pytest.raises(TopologyError):
+            failure_scenarios(b4_topology, 1.5)
+        with pytest.raises(TopologyError):
+            failure_scenarios(b4_topology, 0.1, max_failures=2)

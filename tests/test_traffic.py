@@ -1,0 +1,153 @@
+"""Tests for the traffic substrate: matrices, generators, traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TOP10_VOLUME_SHARE
+from repro.exceptions import TrafficError
+from repro.traffic import (
+    TrafficGenerator,
+    TrafficMatrix,
+    TrafficTrace,
+    calibrate_sigma,
+    gravity_base_matrix,
+    top_fraction_share,
+)
+
+
+class TestTrafficMatrix:
+    def test_diagonal_forced_zero(self):
+        values = np.ones((3, 3))
+        matrix = TrafficMatrix(values)
+        assert np.all(np.diag(matrix.values) == 0)
+        assert matrix.total_demand() == pytest.approx(6.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(np.ones((2, 3)))
+
+    def test_rejects_negative(self):
+        values = np.ones((2, 2))
+        values[0, 1] = -1
+        with pytest.raises(TrafficError):
+            TrafficMatrix(values)
+
+    def test_rejects_nan(self):
+        values = np.ones((2, 2))
+        values[0, 1] = np.nan
+        with pytest.raises(TrafficError):
+            TrafficMatrix(values)
+
+    def test_scaled(self):
+        matrix = TrafficMatrix(np.ones((2, 2)))
+        assert matrix.scaled(2.0).total_demand() == pytest.approx(4.0)
+        with pytest.raises(TrafficError):
+            matrix.scaled(-1.0)
+
+    def test_nonzero_pairs(self):
+        values = np.zeros((3, 3))
+        values[0, 1] = 5.0
+        matrix = TrafficMatrix(values)
+        assert matrix.nonzero_pairs() == [(0, 1)]
+
+    def test_top_fraction_share_bounds(self):
+        matrix = TrafficMatrix(np.ones((4, 4)))
+        share = matrix.top_fraction_share(0.25)
+        assert 0.25 <= share <= 0.3  # uniform demands: share ~ fraction
+        with pytest.raises(TrafficError):
+            matrix.top_fraction_share(0.0)
+
+
+class TestGenerators:
+    def test_gravity_matrix_normalized(self):
+        base = gravity_base_matrix(10, sigma=1.0, mean_total=500.0, seed=0)
+        assert base.sum() == pytest.approx(500.0)
+        assert np.all(np.diag(base) == 0)
+
+    def test_gravity_validation(self):
+        with pytest.raises(TrafficError):
+            gravity_base_matrix(1)
+        with pytest.raises(TrafficError):
+            gravity_base_matrix(5, sigma=0.0)
+
+    def test_calibration_hits_paper_share(self):
+        """§5.1: top 10% of demands should carry ~88.4% of volume."""
+        sigma = calibrate_sigma(40, seed=0)
+        base = gravity_base_matrix(40, sigma=sigma, seed=0)
+        assert top_fraction_share(base) == pytest.approx(
+            TOP10_VOLUME_SHARE, abs=0.03
+        )
+
+    def test_generator_temporal_correlation(self):
+        gen = TrafficGenerator(10, sigma=1.5, phi=0.95, seed=1)
+        matrices = gen.generate(50)
+        stacked = np.stack([m.values for m in matrices])
+        flat = stacked.reshape(50, -1)
+        # Consecutive matrices should be strongly correlated (AR(1)).
+        corr = np.corrcoef(flat[:-1].ravel(), flat[1:].ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_generator_validation(self):
+        with pytest.raises(TrafficError):
+            TrafficGenerator(10, phi=1.0)
+        with pytest.raises(TrafficError):
+            TrafficGenerator(10, volatility=-0.1)
+        gen = TrafficGenerator(10, sigma=1.0)
+        with pytest.raises(TrafficError):
+            gen.generate(0)
+
+    def test_generator_deterministic(self):
+        a = TrafficGenerator(8, sigma=1.0, seed=5).generate(3)
+        b = TrafficGenerator(8, sigma=1.0, seed=5).generate(3)
+        for ma, mb in zip(a, b):
+            assert np.allclose(ma.values, mb.values)
+
+
+class TestTrace:
+    def test_split_sizes(self):
+        trace = TrafficTrace.generate(6, 20, seed=0)
+        split = trace.split(train=10, validation=4, test=6)
+        assert len(split.train) == 10
+        assert len(split.validation) == 4
+        assert len(split.test) == 6
+
+    def test_split_disjoint_and_consecutive(self):
+        trace = TrafficTrace.generate(6, 12, seed=0)
+        split = trace.split(train=6, validation=3, test=3)
+        intervals = [m.interval for part in (split.train, split.validation, split.test) for m in part]
+        assert intervals == sorted(set(intervals))
+
+    def test_split_too_short(self):
+        trace = TrafficTrace.generate(6, 5, seed=0)
+        with pytest.raises(TrafficError):
+            trace.split(train=10, validation=2, test=2)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficTrace([])
+
+    def test_inconsistent_sizes_rejected(self):
+        a = TrafficMatrix(np.ones((3, 3)), interval=0)
+        b = TrafficMatrix(np.ones((4, 4)), interval=1)
+        with pytest.raises(TrafficError):
+            TrafficTrace([a, b])
+
+    def test_non_consecutive_rejected(self):
+        a = TrafficMatrix(np.ones((3, 3)), interval=0)
+        b = TrafficMatrix(np.ones((3, 3)), interval=2)
+        with pytest.raises(TrafficError):
+            TrafficTrace([a, b])
+
+    def test_mean_matrix(self):
+        trace = TrafficTrace.generate(5, 8, seed=2)
+        mean = trace.mean_matrix()
+        stacked = np.stack([m.values for m in trace])
+        assert np.allclose(mean.values, stacked.mean(axis=0))
+
+    def test_temporal_variances_shape(self):
+        trace = TrafficTrace.generate(5, 8, seed=2)
+        variances = trace.temporal_variances()
+        assert variances.shape == (5, 5)
+        assert np.all(variances >= 0)

@@ -1,0 +1,71 @@
+"""Tests for the Figure 10 robustness perturbations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import (
+    TrafficTrace,
+    spatial_redistribution,
+    temporal_fluctuation,
+)
+
+
+@pytest.fixture(scope="module")
+def trace() -> TrafficTrace:
+    return TrafficTrace.generate(12, 30, seed=11)
+
+
+class TestTemporalFluctuation:
+    def test_factor_one_is_identity(self, trace):
+        same = temporal_fluctuation(trace, 1.0)
+        for a, b in zip(trace, same):
+            assert np.allclose(a.values, b.values)
+
+    def test_factor_increases_variance(self, trace):
+        noisy = temporal_fluctuation(trace, 10.0, seed=0)
+        base_var = trace.temporal_variances().sum()
+        noisy_var = noisy.temporal_variances().sum()
+        assert noisy_var > base_var * 2
+
+    def test_total_demand_roughly_preserved(self, trace):
+        """Zero-mean noise should not drastically change total volume."""
+        noisy = temporal_fluctuation(trace, 5.0, seed=0)
+        base = sum(m.total_demand() for m in trace)
+        perturbed = sum(m.total_demand() for m in noisy)
+        assert perturbed == pytest.approx(base, rel=0.2)
+
+    def test_demands_stay_nonnegative(self, trace):
+        noisy = temporal_fluctuation(trace, 20.0, seed=0)
+        for m in noisy:
+            assert (m.values >= 0).all()
+
+    def test_rejects_factor_below_one(self, trace):
+        with pytest.raises(TrafficError):
+            temporal_fluctuation(trace, 0.5)
+
+
+class TestSpatialRedistribution:
+    @pytest.mark.parametrize("target", [0.8, 0.6, 0.4, 0.2])
+    def test_hits_target_share(self, trace, target):
+        """Figure 10b sweeps the top-10% share to 80/60/40/20%."""
+        shifted = spatial_redistribution(trace, target)
+        shares = [m.top_fraction_share(0.1) for m in shifted]
+        assert np.mean(shares) == pytest.approx(target, abs=0.05)
+
+    def test_preserves_total_volume(self, trace):
+        shifted = spatial_redistribution(trace, 0.4)
+        for before, after in zip(trace, shifted):
+            assert after.total_demand() == pytest.approx(
+                before.total_demand(), rel=1e-6
+            )
+
+    def test_validation(self, trace):
+        with pytest.raises(TrafficError):
+            spatial_redistribution(trace, 0.0)
+        with pytest.raises(TrafficError):
+            spatial_redistribution(trace, 1.0)
+        with pytest.raises(TrafficError):
+            spatial_redistribution(trace, 0.5, top_fraction=0.0)
