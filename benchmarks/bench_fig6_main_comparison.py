@@ -47,6 +47,11 @@ def _offline_runs(scenario, training_config):
     key = scenario.name
     if key not in _results:
         schemes = _schemes_for(scenario, training_config)
+        # Batched engine (one vectorized Teal forward per trace); Teal's
+        # reported time is amortized batch wall-clock / T, which tracks
+        # its per-TM latency because the forward is math-bound (see
+        # TealScheme.allocate_batch). 6a's per-scheme pytest benchmarks
+        # below still time single allocation passes.
         runs = run_offline_comparison(scenario, schemes)
         _results[key] = {"schemes": schemes, "offline": runs}
     return _results[key]

@@ -25,7 +25,10 @@ def asn_runs(asn_scenario, training_config):
         make_baselines(asn_scenario, include=("LP-top", "NCFlow", "POP"))
     )
     schemes["Teal"] = teal_for(asn_scenario, training_config)
-    return run_offline_comparison(asn_scenario, schemes)
+    # Fig 7a is a *distribution* claim (per-TM compute-time spread), so
+    # time each allocation individually — amortized batch timing would
+    # flatten Teal's CDF artificially.
+    return run_offline_comparison(asn_scenario, schemes, batched=False)
 
 
 def test_fig7a_time_cdf(benchmark, asn_runs):

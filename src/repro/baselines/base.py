@@ -48,6 +48,43 @@ class TEScheme(ABC):
             An :class:`Allocation` with timing metadata.
         """
 
+    def allocate_batch(
+        self,
+        pathset: PathSet,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> list[Allocation]:
+        """Compute allocations for a stack of traffic matrices.
+
+        The default implementation loops :meth:`allocate`, so every scheme
+        exposes the batched API; schemes with a vectorized inference path
+        (Teal) override it and amortize one forward pass over the batch.
+
+        Args:
+            pathset: Precomputed candidate paths (fixed across intervals).
+            demands: (T, D) demand volumes, one row per matrix.
+            capacities: (E,) shared capacities, (T, E) per-matrix
+                capacities, or None for the topology defaults.
+
+        Returns:
+            One :class:`Allocation` per input matrix.
+        """
+        demands = np.asarray(demands, dtype=float)
+        per_interval = self._capacities_batch(pathset, demands.shape[0], capacities)
+        return [
+            self.allocate(pathset, demands[t], per_interval[t])
+            for t in range(demands.shape[0])
+        ]
+
+    def _capacities_batch(
+        self, pathset: PathSet, batch: int, capacities: np.ndarray | None
+    ) -> np.ndarray:
+        """Normalize a capacities argument to a (T, E) read-only stack."""
+        caps = self._capacities(pathset, capacities)
+        if caps.ndim == 1:
+            caps = np.broadcast_to(caps, (batch, caps.shape[0]))
+        return caps
+
     def _capacities(
         self, pathset: PathSet, capacities: np.ndarray | None
     ) -> np.ndarray:

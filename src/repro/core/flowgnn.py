@@ -50,27 +50,43 @@ class FlowGNNLayer(Module):
         self,
         edge_emb: Tensor,
         path_emb: Tensor,
-        incidence: sp.csr_matrix,
-        incidence_t: sp.csr_matrix,
-        edge_scale: np.ndarray,
-        path_scale: np.ndarray,
+        edge_agg: sp.csr_matrix,
+        path_agg: sp.csr_matrix,
+        edge_agg_t: sp.csr_matrix,
+        path_agg_t: sp.csr_matrix,
     ) -> tuple[Tensor, Tensor]:
         """Run message passing and return updated (edge, path) embeddings.
 
+        Embeddings may carry leading batch axes (..., E/P, dim); the
+        aggregation then folds the batch into one sparse product.
+
         Args:
-            edge_emb: (E, dim) EdgeNode embeddings.
-            path_emb: (P, dim) PathNode embeddings.
-            incidence: (E, P) edge-path incidence.
-            incidence_t: (P, E) transposed incidence.
-            edge_scale: (E, 1) 1/degree normalizer for edge aggregation.
-            path_scale: (P, 1) 1/degree normalizer for path aggregation.
+            edge_emb: (..., E, dim) EdgeNode embeddings.
+            path_emb: (..., P, dim) PathNode embeddings.
+            edge_agg: (E, P) degree-normalized path->edge aggregation
+                (the incidence matrix with rows pre-scaled by 1/degree).
+            path_agg: (P, E) degree-normalized edge->path aggregation.
+            edge_agg_t: Precomputed ``edge_agg.T`` for the backward pass.
+            path_agg_t: Precomputed ``path_agg.T`` for the backward pass.
         """
         # Paths -> edges: an edge aggregates the flows competing for it.
-        path_to_edge = F.sparse_matmul(incidence, path_emb) * Tensor(edge_scale)
-        new_edge = F.tanh(self.edge_update(F.concat([edge_emb, path_to_edge])))
+        # Each update sees [own embedding, aggregated neighbors] through
+        # the split-weight pair_linear (no doubled-width intermediate).
+        path_to_edge = F.sparse_matmul(edge_agg, path_emb, transposed=edge_agg_t)
+        new_edge = F.tanh(
+            F.pair_linear(
+                edge_emb, path_to_edge, self.edge_update.weight,
+                self.edge_update.bias,
+            )
+        )
         # Edges -> paths: a path aggregates its (possibly bottleneck) links.
-        edge_to_path = F.sparse_matmul(incidence_t, new_edge) * Tensor(path_scale)
-        new_path = F.tanh(self.path_update(F.concat([path_emb, edge_to_path])))
+        edge_to_path = F.sparse_matmul(path_agg, new_edge, transposed=path_agg_t)
+        new_path = F.tanh(
+            F.pair_linear(
+                path_emb, edge_to_path, self.path_update.weight,
+                self.path_update.bias,
+            )
+        )
         return new_edge, new_path
 
 
@@ -98,30 +114,31 @@ class DemandDNNLayer(Module):
         path_emb: Tensor,
         gather_index: np.ndarray,
         scatter_index: np.ndarray,
-        valid_mask: np.ndarray,
     ) -> Tensor:
         """Update PathNode embeddings demand-by-demand.
 
+        Padding slots gather zeros on the way in (-1 indices); on the way
+        out no masking is needed because ``scatter_index`` only reads the
+        grid positions of real paths — padding positions never reach the
+        result or the gradient.
+
         Args:
-            path_emb: (P, dim) PathNode embeddings.
-            gather_index: (D, k) path ids with padding slots pointing at a
-                zero row appended at index P.
+            path_emb: (P, dim) PathNode embeddings, optionally with
+                leading batch axes (..., P, dim).
+            gather_index: (D, k) path ids with -1 marking padding slots.
             scatter_index: (P,) flat position of each real path inside the
                 (D, k) grid.
-            valid_mask: (D, k, 1) float mask, 0 at padding slots.
 
         Returns:
-            Updated (P, dim) PathNode embeddings.
+            Updated (..., P, dim) PathNode embeddings.
         """
+        lead = path_emb.shape[:-2]
         num_demands = gather_index.shape[0]
-        padded = F.concat([path_emb, Tensor(np.zeros((1, self.dim)))], axis=0)
-        grouped = F.take_rows(padded, gather_index)  # (D, k, dim)
-        flat = grouped.reshape(num_demands, self.num_paths * self.dim)
+        grouped = F.take_rows_padded(path_emb, gather_index)  # (..., D, k, dim)
+        flat = grouped.reshape(lead + (num_demands, self.num_paths * self.dim))
         updated = F.tanh(self.transform(flat))
-        updated = updated.reshape(num_demands, self.num_paths, self.dim)
-        updated = updated * Tensor(valid_mask)
         # Scatter the grid back to per-path rows.
-        grid = updated.reshape(num_demands * self.num_paths, self.dim)
+        grid = updated.reshape(lead + (num_demands * self.num_paths, self.dim))
         return F.take_rows(grid, scatter_index)
 
 
@@ -150,17 +167,26 @@ class FlowGNN(Module):
         path_degree = np.asarray(self.incidence_t.sum(axis=1)).reshape(-1, 1)
         self.edge_scale = 1.0 / np.maximum(edge_degree, 1.0)
         self.path_scale = 1.0 / np.maximum(path_degree, 1.0)
+        # Degree normalization folded into the aggregation matrices (one
+        # sparse product per direction instead of product + rescale), with
+        # transposes precomputed for the backward pass.
+        self.edge_agg = sp.csr_matrix(
+            self.incidence.multiply(self.edge_scale)
+        )
+        self.path_agg = sp.csr_matrix(
+            self.incidence_t.multiply(self.path_scale)
+        )
+        self.edge_agg_t = self.edge_agg.T.tocsr()
+        self.path_agg_t = self.path_agg.T.tocsr()
 
-        # Gather/scatter indices for the per-demand DNN layers.
-        gather = pathset.demand_path_ids.copy()
-        gather[gather < 0] = pathset.num_paths  # zero row sentinel
-        self.gather_index = gather
+        # Gather/scatter indices for the per-demand DNN layers; -1 marks
+        # padding slots (they gather zeros, see take_rows_padded).
+        self.gather_index = pathset.demand_path_ids
         positions = np.flatnonzero(pathset.demand_path_ids.reshape(-1) >= 0)
         order = pathset.demand_path_ids.reshape(-1)[positions]
         scatter = np.empty(pathset.num_paths, dtype=int)
         scatter[order] = positions
         self.scatter_index = scatter
-        self.valid_mask = pathset.path_mask.astype(float)[:, :, None]
 
         # Layer dims grow 1, 2, ..., num_layers (§4 embedding growth).
         self.gnn_layers = [
@@ -199,36 +225,77 @@ class FlowGNN(Module):
         scale = max(float(capacities.mean()), 1e-9)
         edge_init = (capacities / scale).reshape(-1, 1)
         path_init = (demands[pathset.path_demand] / scale).reshape(-1, 1)
+        return self._propagate(edge_init, path_init)
 
+    def forward_batch(
+        self, demands: np.ndarray, capacities: np.ndarray
+    ) -> Tensor:
+        """Compute (B, P, embedding_dim) flow embeddings for a TM stack.
+
+        One forward pass covers the whole batch: every sparse aggregation
+        and dense layer acts on the stacked embeddings, so replaying a
+        trace costs a handful of vectorized ops instead of a Python loop
+        per interval.
+
+        Args:
+            demands: (B, D) demand volumes, one row per traffic matrix.
+            capacities: (E,) shared capacities or (B, E) per-matrix
+                capacities (e.g. a failure sweep).
+
+        Returns:
+            Batched PathNode embeddings (B, P, embedding_dim).
+        """
+        demands = np.asarray(demands, dtype=float)
+        capacities = np.asarray(capacities, dtype=float)
+        pathset = self.pathset
+        if demands.ndim != 2 or demands.shape[1] != pathset.num_demands:
+            raise ModelError("demands must be (batch, num_demands)")
+        batch = demands.shape[0]
+        if capacities.ndim == 1:
+            capacities = np.broadcast_to(
+                capacities, (batch, capacities.shape[0])
+            )
+        if capacities.shape != (batch, pathset.topology.num_edges):
+            raise ModelError("capacities must be (num_edges,) or (batch, num_edges)")
+
+        # Per-element normalization matches the single-TM path exactly, so
+        # batched and looped inference agree to machine precision.
+        scale = np.maximum(capacities.mean(axis=-1), 1e-9)[:, None, None]
+        edge_init = capacities[:, :, None] / scale
+        path_init = demands[:, pathset.path_demand][:, :, None] / scale
+        return self._propagate(edge_init, path_init)
+
+    def _propagate(self, edge_init: np.ndarray, path_init: np.ndarray) -> Tensor:
+        """Run the layer stack on (..., E, 1) / (..., P, 1) initializations."""
         edge_emb = Tensor(edge_init)
         path_emb = Tensor(path_init)
         for layer in range(self.num_layers):
             edge_emb, path_emb = self.gnn_layers[layer](
                 edge_emb,
                 path_emb,
-                self.incidence,
-                self.incidence_t,
-                self.edge_scale,
-                self.path_scale,
+                self.edge_agg,
+                self.path_agg,
+                self.edge_agg_t,
+                self.path_agg_t,
             )
             path_emb = self.dnn_layers[layer](
-                path_emb, self.gather_index, self.scatter_index, self.valid_mask
+                path_emb, self.gather_index, self.scatter_index
             )
             if layer < self.num_layers - 1:
                 # Embedding growth: re-append the initialization value.
-                edge_emb = F.concat([edge_emb, Tensor(edge_init)], axis=1)
-                path_emb = F.concat([path_emb, Tensor(path_init)], axis=1)
+                edge_emb = F.concat([edge_emb, Tensor(edge_init)], axis=-1)
+                path_emb = F.concat([path_emb, Tensor(path_init)], axis=-1)
         return path_emb
 
     def grouped_embeddings(self, path_emb: Tensor) -> Tensor:
-        """Arrange path embeddings as (D, k * embedding_dim) policy inputs.
+        """Arrange path embeddings as (..., D, k * embedding_dim) policy inputs.
 
-        Padding slots contribute zeros.
+        Padding slots contribute zeros. Accepts the (P, dim) single-TM
+        embeddings or the (B, P, dim) batched stack.
         """
         dim = self.embedding_dim
-        padded = F.concat([path_emb, Tensor(np.zeros((1, dim)))], axis=0)
-        grouped = F.take_rows(padded, self.gather_index)
-        grouped = grouped * Tensor(self.valid_mask)
+        lead = path_emb.shape[:-2]
+        grouped = F.take_rows_padded(path_emb, self.gather_index)
         return grouped.reshape(
-            self.pathset.num_demands, self.pathset.max_paths * dim
+            lead + (self.pathset.num_demands, self.pathset.max_paths * dim)
         )

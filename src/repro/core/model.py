@@ -68,6 +68,57 @@ class AllocatorModel(Module):
             capacities = self.pathset.topology.capacities
         return self.forward(demands, capacities).numpy()
 
+    # ------------------------------------------------------------------
+    # Batched inference (multi-matrix engine)
+    # ------------------------------------------------------------------
+    def logits_batch(
+        self, demands: np.ndarray, capacities: np.ndarray
+    ) -> Tensor:
+        """(B, D, k) action logits for a stack of traffic matrices.
+
+        The base implementation loops :meth:`logits` per matrix so every
+        allocator variant supports the batched API; architectures with a
+        genuinely batched forward (TealModel) override it. The per-matrix
+        logits are stacked on the tape (differentiable), so batched
+        training works uniformly across variants.
+        """
+        from ..nn import functional as F
+
+        demands = np.asarray(demands, dtype=float)
+        capacities = np.asarray(capacities, dtype=float)
+        if capacities.ndim == 1:
+            capacities = np.broadcast_to(
+                capacities, (demands.shape[0], capacities.shape[0])
+            )
+        num_demands = self.pathset.num_demands
+        max_paths = self.pathset.max_paths
+        if demands.shape[0] == 0:
+            return Tensor(np.zeros((0, num_demands, max_paths)))
+        return F.concat(
+            [
+                self.logits(demands[i], capacities[i]).reshape(
+                    1, num_demands, max_paths
+                )
+                for i in range(demands.shape[0])
+            ],
+            axis=0,
+        )
+
+    def forward_batch(
+        self, demands: np.ndarray, capacities: np.ndarray
+    ) -> Tensor:
+        """Deterministic split ratios (B, D, k) for a stack of matrices."""
+        logits = self.logits_batch(demands, capacities)
+        return self.policy.split_ratios(logits, self.pathset.path_mask)
+
+    def split_ratios_batch(
+        self, demands: np.ndarray, capacities: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Numpy (B, D, k) split ratios for a stack of traffic matrices."""
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        return self.forward_batch(demands, capacities).numpy()
+
     def check_compatible(self, pathset: PathSet) -> None:
         """Ensure a pathset matches the one the model was built around.
 
@@ -120,6 +171,14 @@ class TealModel(AllocatorModel):
     def logits(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
         """Per-demand action logits (D, k)."""
         embeddings = self.flow_gnn(demands, capacities)
+        features = self.flow_gnn.grouped_embeddings(embeddings)
+        return self.policy(features)
+
+    def logits_batch(
+        self, demands: np.ndarray, capacities: np.ndarray
+    ) -> Tensor:
+        """(B, D, k) logits via one batched FlowGNN + policy forward."""
+        embeddings = self.flow_gnn.forward_batch(demands, capacities)
         features = self.flow_gnn.grouped_embeddings(embeddings)
         return self.policy(features)
 

@@ -27,7 +27,7 @@ from .core import TealScheme
 from .exceptions import ReproError
 from .lp.objectives import Objective, get_objective
 from .paths.pathset import PathSet
-from .simulation.evaluator import evaluate_allocation
+from .simulation.evaluator import evaluate_allocations_batch
 from .simulation.metrics import SchemeRun
 from .topology.generators import get_topology, provision_capacities
 from .topology.graph import Topology
@@ -236,8 +236,20 @@ def run_offline_comparison(
     matrices: list[TrafficMatrix] | None = None,
     objective: Objective | None = None,
     capacities: np.ndarray | None = None,
+    batched: bool = True,
 ) -> dict[str, SchemeRun]:
-    """Evaluate schemes matrix-by-matrix in the offline setting (§5.6).
+    """Evaluate schemes over the test trace in the offline setting (§5.6).
+
+    The whole trace runs through each scheme's batched path: one
+    ``allocate_batch`` call (a single vectorized forward for Teal, a loop
+    for the LP family) followed by one
+    :func:`evaluate_allocations_batch` scoring pass per scheme.
+
+    Timing semantics: a natively batched scheme reports its *amortized*
+    per-matrix compute time (total batch time / T) — the cost a batched
+    deployment observes. Pass ``batched=False`` to time every scheme one
+    allocation at a time (the paper's per-TM inference-latency setting,
+    e.g. for Figure 6a/7a style comparisons).
 
     Args:
         scenario: The workload.
@@ -245,6 +257,8 @@ def run_offline_comparison(
         matrices: Matrices to evaluate (default: the test split).
         objective: Objective whose raw value is also recorded.
         capacities: Capacity override (failure experiments).
+        batched: Allocate through ``allocate_batch`` (default) or loop
+            ``allocate`` per matrix for strict per-TM latency numbers.
 
     Returns:
         Mapping name -> populated :class:`SchemeRun`.
@@ -255,18 +269,30 @@ def run_offline_comparison(
         objective = get_objective("total_flow")
     caps = scenario.capacities if capacities is None else capacities
     runs = {name: SchemeRun(scheme=name) for name in schemes}
-    for matrix in matrices:
-        demands = scenario.demands(matrix)
-        for name, scheme in schemes.items():
-            allocation = scheme.allocate(scenario.pathset, demands, caps)
-            report = evaluate_allocation(
-                scenario.pathset, allocation.split_ratios, demands, caps
-            )
+    if not matrices:
+        return runs
+    demands_all = scenario.pathset.demand_volumes_batch(
+        np.stack([m.values for m in matrices])
+    )
+    for name, scheme in schemes.items():
+        allocate_batch = getattr(scheme, "allocate_batch", None)
+        if batched and allocate_batch is not None:
+            allocations = allocate_batch(scenario.pathset, demands_all, caps)
+        else:
+            allocations = [
+                scheme.allocate(scenario.pathset, demands, caps)
+                for demands in demands_all
+            ]
+        ratios_all = np.stack([a.split_ratios for a in allocations])
+        batch_report = evaluate_allocations_batch(
+            scenario.pathset, ratios_all, demands_all, caps
+        )
+        for t, allocation in enumerate(allocations):
             value = objective.evaluate(
-                scenario.pathset, allocation.split_ratios, demands, caps
+                scenario.pathset, allocation.split_ratios, demands_all[t], caps
             )
             runs[name].add(
-                satisfied=report.satisfied_fraction,
+                satisfied=batch_report.satisfied_fraction[t],
                 compute_time=allocation.compute_time,
                 objective_value=value,
                 extras=allocation.extras,
@@ -309,6 +335,7 @@ def run_online_comparison(
     matrices: list[TrafficMatrix] | None = None,
     failure_at: int | None = None,
     failed_capacities: np.ndarray | None = None,
+    batched: bool = True,
 ):
     """Run every scheme through the online control loop (§5.1 metric).
 
@@ -319,6 +346,8 @@ def run_online_comparison(
         matrices: Matrices to replay (default: the test split).
         failure_at: Optional failure interval.
         failed_capacities: Capacities after the failure.
+        batched: Use the vectorized replay (default) or the streaming
+            per-interval loop (see :meth:`OnlineSimulator.run`).
 
     Returns:
         Mapping name -> :class:`~repro.simulation.online.OnlineRunResult`.
@@ -335,6 +364,7 @@ def run_online_comparison(
             capacities=scenario.capacities,
             failure_at=failure_at,
             failed_capacities=failed_capacities,
+            batched=batched,
         )
         for name, scheme in schemes.items()
     }

@@ -14,7 +14,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import ModelError
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, _transpose_last, as_tensor
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -158,45 +158,192 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     return out
 
 
-def take_rows(x: Tensor, indices: np.ndarray) -> Tensor:
-    """Gather rows ``x[indices]`` with scatter-add backward.
+def pair_linear(
+    a: Tensor, b: Tensor, weight: Tensor, bias: Tensor | None = None
+) -> Tensor:
+    """``concat([a, b], axis=-1) @ weight (+ bias)`` without the concat.
 
-    Args:
-        x: (N, F) tensor.
-        indices: Integer row indices (any shape); output shape is
-            ``indices.shape + (F,)``.
+    The hot op of every FlowGNN message-passing round: the (2*dim, dim)
+    update weight is split row-wise and applied as two matmuls, so the
+    doubled-width intermediate is never materialized. Mathematically
+    identical to the concat formulation (the dot product is just summed in
+    two halves); the weight gradient is reassembled to the full (2*dim,
+    dim) shape. Operands may carry leading batch axes.
     """
-    x = as_tensor(x)
-    indices = np.asarray(indices, dtype=int)
-    out = Tensor(x.data[indices], parents=(x,))
+    a = as_tensor(a)
+    b = as_tensor(b)
+    weight = as_tensor(weight)
+    split = a.data.shape[-1]
+    if weight.data.shape[0] != split + b.data.shape[-1]:
+        raise ModelError(
+            f"weight rows {weight.data.shape[0]} != "
+            f"{split} + {b.data.shape[-1]} operand features"
+        )
+    w_top = weight.data[:split]
+    w_bottom = weight.data[split:]
+    value = a.data @ w_top + b.data @ w_bottom
+    if bias is not None:
+        value = value + bias.data
+    parents = (a, b, weight) + ((bias,) if bias is not None else ())
+    out = Tensor(value, parents=parents)
 
     def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            acc = np.zeros_like(x.data)
-            np.add.at(acc, indices.reshape(-1), grad.reshape(-1, x.data.shape[-1]))
-            x._accumulate(acc)
+        if a.requires_grad:
+            a._accumulate(grad @ w_top.T)
+        if b.requires_grad:
+            b._accumulate(grad @ w_bottom.T)
+        if weight.requires_grad:
+            weight._accumulate(
+                np.concatenate(
+                    [
+                        _transpose_last(a.data) @ grad,
+                        _transpose_last(b.data) @ grad,
+                    ],
+                    axis=-2,
+                )
+            )
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad)
 
     out._backward_fn = backward
     return out
 
 
-def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+def take_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows along the second-to-last axis with scatter-add backward.
+
+    Args:
+        x: (N, F) tensor, or a batched (..., N, F) tensor; the gather
+            indexes the N axis and is shared across batch elements.
+        indices: Integer row indices (any shape); output shape is
+            ``x.shape[:-2] + indices.shape + (F,)``.
+    """
+    x = as_tensor(x)
+    indices = np.asarray(indices, dtype=int)
+    if x.ndim < 2:
+        raise ModelError("take_rows expects a tensor with at least 2 dims")
+    out = Tensor(x.data[..., indices, :], parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        acc = np.zeros_like(x.data)
+        flat_idx = indices.reshape(-1)
+        features = x.data.shape[-1]
+        if x.ndim == 2:
+            np.add.at(acc, flat_idx, grad.reshape(-1, features))
+        else:
+            lead = int(np.prod(x.data.shape[:-2]))
+            acc_view = acc.reshape(lead, x.data.shape[-2], features)
+            grad_flat = grad.reshape(lead, flat_idx.size, features)
+            np.add.at(
+                acc_view,
+                (np.arange(lead)[:, None], flat_idx[None, :]),
+                grad_flat,
+            )
+        x._accumulate(acc)
+
+    out._backward_fn = backward
+    return out
+
+
+def take_rows_padded(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Like :func:`take_rows` but negative indices yield zero rows.
+
+    The gather primitive for padded (D, k) path grids: padding slots are
+    marked -1 and produce zeros (forward) and receive no gradient
+    (backward), without materializing a sentinel zero row via concat.
+
+    Args:
+        x: (N, F) tensor, or a batched (..., N, F) tensor.
+        indices: Integer row indices (any shape); -1 marks padding.
+    """
+    x = as_tensor(x)
+    indices = np.asarray(indices, dtype=int)
+    if x.ndim < 2:
+        raise ModelError("take_rows_padded expects a tensor with at least 2 dims")
+    invalid = indices < 0
+    safe = np.where(invalid, 0, indices)
+    data = x.data[..., safe, :]
+    if invalid.any():
+        data[..., invalid, :] = 0.0
+    out = Tensor(data, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        acc = np.zeros_like(x.data)
+        flat_idx = safe.reshape(-1)
+        keep = ~invalid.reshape(-1)
+        features = x.data.shape[-1]
+        if x.ndim == 2:
+            grad_flat = grad.reshape(-1, features)
+            np.add.at(acc, flat_idx[keep], grad_flat[keep])
+        else:
+            lead = int(np.prod(x.data.shape[:-2]))
+            acc_view = acc.reshape(lead, x.data.shape[-2], features)
+            grad_flat = grad.reshape(lead, flat_idx.size, features)
+            np.add.at(
+                acc_view,
+                (np.arange(lead)[:, None], flat_idx[keep][None, :]),
+                grad_flat[:, keep],
+            )
+        x._accumulate(acc)
+
+    out._backward_fn = backward
+    return out
+
+
+def _sparse_apply(csr: sp.csr_matrix, arr: np.ndarray) -> np.ndarray:
+    """``csr @ arr`` where ``arr`` may carry leading batch axes.
+
+    A batched (..., N, F) operand is folded into a single (N, batch * F)
+    dense matrix so the whole batch costs exactly one sparse product —
+    the trick that lets FlowGNN aggregate a stack of traffic matrices in
+    one pass.
+    """
+    if arr.ndim <= 2:
+        return csr @ arr
+    lead = arr.shape[:-2]
+    n, features = arr.shape[-2:]
+    folded = np.moveaxis(arr.reshape(-1, n, features), 0, 1).reshape(n, -1)
+    product = csr @ folded
+    m = product.shape[0]
+    return np.moveaxis(product.reshape(m, -1, features), 1, 0).reshape(
+        lead + (m, features)
+    )
+
+
+def sparse_matmul(
+    matrix: sp.spmatrix, x: Tensor, transposed: sp.spmatrix | None = None
+) -> Tensor:
     """Product ``matrix @ x`` for a constant sparse matrix.
 
     The backward pass is ``matrix.T @ grad``. This is the aggregation
     primitive of FlowGNN: with the (E, P) edge-path incidence matrix it
     sums PathNode embeddings into EdgeNodes (and transposed, back).
+    ``x`` may carry leading batch axes; the batch is folded so forward and
+    backward each remain a single sparse product.
+
+    Args:
+        matrix: Constant sparse matrix.
+        x: Dense operand (..., N, F).
+        transposed: Optional precomputed ``matrix.T`` (CSR). When omitted
+            the transpose is built lazily at the first backward call, so
+            pure-inference forwards never pay for it.
     """
     x = as_tensor(x)
     if not sp.issparse(matrix):
         raise ModelError("sparse_matmul expects a scipy sparse matrix")
     csr = matrix.tocsr()
-    out = Tensor(csr @ x.data, parents=(x,))
-    transposed = csr.T.tocsr()
+    out = Tensor(_sparse_apply(csr, x.data), parents=(x,))
 
     def backward(grad: np.ndarray) -> None:
+        nonlocal transposed
         if x.requires_grad:
-            x._accumulate(transposed @ grad)
+            if transposed is None:
+                transposed = csr.T.tocsr()
+            x._accumulate(_sparse_apply(transposed, grad))
 
     out._backward_fn = backward
     return out

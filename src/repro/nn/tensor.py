@@ -45,6 +45,13 @@ def _as_array(value) -> np.ndarray:
     return arr
 
 
+def _transpose_last(arr: np.ndarray) -> np.ndarray:
+    """Swap the last two axes (matrix transpose of possibly-batched arrays)."""
+    if arr.ndim < 2:
+        return arr
+    return np.swapaxes(arr, -1, -2)
+
+
 class Tensor:
     """An autodiff tensor.
 
@@ -247,14 +254,22 @@ class Tensor:
         return out
 
     def __matmul__(self, other) -> "Tensor":
+        """Matrix product with stacked (batched) operand support.
+
+        Either operand may carry leading batch axes (numpy matmul
+        semantics); ``_unbroadcast`` inside :meth:`_accumulate` sums the
+        gradient over axes broadcast across the batch, so e.g. a shared
+        (I, O) weight applied to (B, D, I) inputs receives a (I, O)
+        gradient summed over the batch.
+        """
         other = as_tensor(other)
         out = Tensor(self.data @ other.data, parents=(self, other))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
+                self._accumulate(grad @ _transpose_last(other.data))
             if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
+                other._accumulate(_transpose_last(self.data) @ grad)
 
         out._backward_fn = backward
         return out

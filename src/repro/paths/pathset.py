@@ -211,6 +211,19 @@ class PathSet:
         dst = np.array([t for _, t in self.pairs])
         return matrix[src, dst]
 
+    def demand_volumes_batch(self, matrices: np.ndarray) -> np.ndarray:
+        """Extract (T, D) demand volumes from a (T, n, n) matrix stack."""
+        matrices = np.asarray(matrices, dtype=float)
+        n = self.topology.num_nodes
+        if matrices.ndim != 3 or matrices.shape[1:] != (n, n):
+            raise PathError(
+                f"traffic matrix stack shape {matrices.shape} does not "
+                f"match (T, {n}, {n})"
+            )
+        src = np.array([s for s, _ in self.pairs])
+        dst = np.array([t for _, t in self.pairs])
+        return matrices[:, src, dst]
+
     def split_ratios_to_path_flows(
         self, split_ratios: np.ndarray, demands: np.ndarray
     ) -> np.ndarray:
@@ -231,6 +244,34 @@ class PathSet:
         flows[pids] = (split_ratios * demands[:, None])[valid]
         return flows
 
+    def split_ratios_to_path_flows_batch(
+        self, split_ratios: np.ndarray, demands: np.ndarray
+    ) -> np.ndarray:
+        """Convert (T, D, k) ratios and (T, D) volumes to (T, P) flows.
+
+        The batched analogue of :meth:`split_ratios_to_path_flows`; one
+        fancy-index assignment covers the whole stack.
+        """
+        split_ratios = np.asarray(split_ratios, dtype=float)
+        demands = np.asarray(demands, dtype=float)
+        if (
+            split_ratios.ndim != 3
+            or split_ratios.shape[1:] != (self.num_demands, self.max_paths)
+        ):
+            raise PathError(
+                f"split_ratios shape {split_ratios.shape} != "
+                f"(T, {self.num_demands}, {self.max_paths})"
+            )
+        if demands.shape != split_ratios.shape[:2]:
+            raise PathError(
+                f"demands shape {demands.shape} does not match ratios batch"
+            )
+        flows = np.zeros((split_ratios.shape[0], self.num_paths), dtype=float)
+        valid = self.path_mask
+        pids = self.demand_path_ids[valid]
+        flows[:, pids] = (split_ratios * demands[:, :, None])[:, valid]
+        return flows
+
     def path_flows_to_split_ratios(
         self, path_flows: np.ndarray, demands: np.ndarray
     ) -> np.ndarray:
@@ -248,6 +289,18 @@ class PathSet:
     def edge_loads(self, path_flows: np.ndarray) -> np.ndarray:
         """Per-edge load (E,) induced by (P,) path flows."""
         return np.asarray(self.edge_path_incidence @ np.asarray(path_flows, float))
+
+    def edge_loads_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        """Per-edge loads (T, E) induced by (T, P) path flows.
+
+        One sparse product scores the entire stack.
+        """
+        path_flows = np.asarray(path_flows, dtype=float)
+        if path_flows.ndim != 2 or path_flows.shape[1] != self.num_paths:
+            raise PathError(
+                f"path_flows shape {path_flows.shape} != (T, {self.num_paths})"
+            )
+        return np.asarray((self.edge_path_incidence @ path_flows.T).T)
 
     def shortest_path_loads(self, matrix: np.ndarray) -> np.ndarray:
         """Per-edge load when every demand rides its first (shortest) path.

@@ -2,8 +2,10 @@
 
 from .evaluator import (
     Allocation,
+    BatchFlowReport,
     FlowReport,
     evaluate_allocation,
+    evaluate_allocations_batch,
     path_bottleneck_utilization,
     satisfied_demand_fraction,
 )
@@ -13,8 +15,10 @@ from .online import IntervalResult, OnlineRunResult, OnlineSimulator
 
 __all__ = [
     "Allocation",
+    "BatchFlowReport",
     "FlowReport",
     "evaluate_allocation",
+    "evaluate_allocations_batch",
     "path_bottleneck_utilization",
     "satisfied_demand_fraction",
     "OnlineSimulator",

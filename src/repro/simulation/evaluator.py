@@ -46,10 +46,62 @@ class Allocation:
 
     def clipped(self) -> "Allocation":
         """Return a copy with ratios clipped to [0, 1] and row sums <= 1."""
-        ratios = np.clip(self.split_ratios, 0.0, 1.0)
-        sums = ratios.sum(axis=1, keepdims=True)
-        scale = np.where(sums > 1.0, sums, 1.0)
-        return Allocation(ratios / scale, self.compute_time, self.scheme, self.extras)
+        return Allocation(
+            _clip_ratios_batch(self.split_ratios),
+            self.compute_time,
+            self.scheme,
+            self.extras,
+        )
+
+
+@dataclass(frozen=True)
+class BatchFlowReport:
+    """Outcome of evaluating a stack of allocations in one pass.
+
+    Every attribute stacks the corresponding :class:`FlowReport` field
+    along a leading batch axis of size T (the number of traffic
+    matrices). Use :meth:`report` / :meth:`reports` to recover per-matrix
+    views for APIs that expect single reports.
+
+    Attributes:
+        delivered_path_flows: (T, P) delivered flow per path.
+        intended_path_flows: (T, P) requested flow per path.
+        edge_loads: (T, E) post-reconciliation link loads.
+        total_demand: (T,) offered demand per matrix.
+        delivered_total: (T,) delivered flow per matrix.
+        satisfied_fraction: (T,) delivered / offered (0 where no demand).
+        max_link_utilization: (T,) post-reconciliation MLU.
+        intended_mlu: (T,) pre-reconciliation MLU.
+    """
+
+    delivered_path_flows: np.ndarray
+    intended_path_flows: np.ndarray
+    edge_loads: np.ndarray
+    total_demand: np.ndarray
+    delivered_total: np.ndarray
+    satisfied_fraction: np.ndarray
+    max_link_utilization: np.ndarray
+    intended_mlu: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.total_demand.shape[0])
+
+    def report(self, index: int) -> "FlowReport":
+        """The :class:`FlowReport` of one matrix in the batch."""
+        return FlowReport(
+            delivered_path_flows=self.delivered_path_flows[index],
+            intended_path_flows=self.intended_path_flows[index],
+            edge_loads=self.edge_loads[index],
+            total_demand=float(self.total_demand[index]),
+            delivered_total=float(self.delivered_total[index]),
+            satisfied_fraction=float(self.satisfied_fraction[index]),
+            max_link_utilization=float(self.max_link_utilization[index]),
+            intended_mlu=float(self.intended_mlu[index]),
+        )
+
+    def reports(self) -> list["FlowReport"]:
+        """Per-matrix :class:`FlowReport` views, in batch order."""
+        return [self.report(i) for i in range(len(self))]
 
 
 @dataclass(frozen=True)
@@ -103,16 +155,26 @@ def path_bottleneck_utilization(
     return bottleneck
 
 
-def _path_max_utilization(pathset: PathSet, util: np.ndarray) -> np.ndarray:
-    """Vectorized per-path max of per-edge utilizations."""
-    # Max over the sparse rows of incidence^T: use a masked trick — for
-    # non-negative utilizations, max over a path's edges equals the max of
-    # util restricted to its edge set; compute via repeated sparse argmax
-    # would be slow, so use the COO expansion once.
+def _path_max_utilization_batch(
+    pathset: PathSet, util: np.ndarray
+) -> np.ndarray:
+    """Per-path bottleneck utilizations (T, P) from per-edge utils (T, E).
+
+    One unbuffered scatter-max over the COO expansion covers the whole
+    batch: the path axis leads so ``maximum.at`` broadcasts each edge's
+    (T,) utilization column into the path rows it lies on.
+    """
     coo = pathset.edge_path_incidence.tocoo()
-    bottleneck = np.zeros(pathset.num_paths)
-    np.maximum.at(bottleneck, coo.col, util[coo.row])
-    return bottleneck
+    bottleneck = np.zeros((pathset.num_paths, util.shape[0]))
+    np.maximum.at(bottleneck, coo.col, util.T[coo.row])
+    return bottleneck.T
+
+
+def _clip_ratios_batch(split_ratios: np.ndarray) -> np.ndarray:
+    """Batched :meth:`Allocation.clipped`: clip to [0, 1], cap row sums at 1."""
+    ratios = np.clip(split_ratios, 0.0, 1.0)
+    sums = ratios.sum(axis=-1, keepdims=True)
+    return ratios / np.where(sums > 1.0, sums, 1.0)
 
 
 def evaluate_allocation(
@@ -122,6 +184,10 @@ def evaluate_allocation(
     capacities: np.ndarray | None = None,
 ) -> FlowReport:
     """Evaluate split ratios: enforce capacities and report delivered flow.
+
+    A thin wrapper over :func:`evaluate_allocations_batch` with a batch of
+    one (the batched path is the single implementation of the
+    reconciliation semantics).
 
     Args:
         pathset: The path set (supplies incidence structures).
@@ -141,27 +207,72 @@ def evaluate_allocation(
         raise SimulationError(
             f"demands shape {demands.shape} != ({pathset.num_demands},)"
         )
+    split_ratios = np.asarray(split_ratios, dtype=float)
+    batch = evaluate_allocations_batch(
+        pathset, split_ratios[None], demands[None], capacities
+    )
+    return batch.report(0)
+
+
+def evaluate_allocations_batch(
+    pathset: PathSet,
+    split_ratios: np.ndarray,
+    demands: np.ndarray,
+    capacities: np.ndarray | None = None,
+) -> BatchFlowReport:
+    """Evaluate a stack of allocations against a stack of traffic matrices.
+
+    The vectorized core of the scenario engine: T traffic matrices are
+    scored in a handful of array ops — two sparse products for edge loads,
+    one scatter-max for path bottlenecks — instead of a Python loop per
+    matrix. Semantics are identical to :func:`evaluate_allocation` applied
+    row by row (the per-TM function is a batch-of-one wrapper).
+
+    Args:
+        pathset: The path set (supplies incidence structures).
+        split_ratios: (T, D, k) split ratios; clipped and row-normalized
+            per matrix exactly as in the single-matrix path.
+        demands: (T, D) demand volumes.
+        capacities: (E,) shared capacities, (T, E) per-matrix capacities
+            (failure sweeps), or None for the topology defaults.
+
+    Returns:
+        A :class:`BatchFlowReport` (empty arrays for T = 0).
+
+    Raises:
+        SimulationError: On shape mismatches.
+    """
+    demands = np.asarray(demands, dtype=float)
+    if demands.ndim != 2 or demands.shape[1] != pathset.num_demands:
+        raise SimulationError(
+            f"demands shape {demands.shape} != (T, {pathset.num_demands})"
+        )
+    num_matrices = demands.shape[0]
     if capacities is None:
         capacities = pathset.topology.capacities
     capacities = np.asarray(capacities, dtype=float)
-    if capacities.shape != (pathset.topology.num_edges,):
+    if capacities.ndim == 1:
+        capacities = np.broadcast_to(
+            capacities, (num_matrices, capacities.shape[0])
+        )
+    if capacities.shape != (num_matrices, pathset.topology.num_edges):
         raise SimulationError("capacities shape mismatch")
 
-    allocation = Allocation(np.asarray(split_ratios, dtype=float)).clipped()
-    intended = pathset.split_ratios_to_path_flows(allocation.split_ratios, demands)
+    ratios = _clip_ratios_batch(np.asarray(split_ratios, dtype=float))
+    intended = pathset.split_ratios_to_path_flows_batch(ratios, demands)
 
-    pre_loads = pathset.edge_loads(intended)
+    pre_loads = pathset.edge_loads_batch(intended)
     with np.errstate(divide="ignore", invalid="ignore"):
         util = np.where(
             capacities > 0,
             pre_loads / np.maximum(capacities, 1e-300),
             np.where(pre_loads > 0, _INFINITE_UTILIZATION, 0.0),
         )
-    bottleneck = _path_max_utilization(pathset, util)
+    bottleneck = _path_max_utilization_batch(pathset, util)
     scale = 1.0 / np.maximum(bottleneck, 1.0)
     scale[~np.isfinite(scale)] = 0.0
     delivered = intended * scale
-    post_loads = pathset.edge_loads(delivered)
+    post_loads = pathset.edge_loads_batch(delivered)
 
     with np.errstate(divide="ignore", invalid="ignore"):
         post_util = np.where(
@@ -169,17 +280,29 @@ def evaluate_allocation(
             post_loads / np.maximum(capacities, 1e-300),
             np.where(post_loads > 1e-9, _INFINITE_UTILIZATION, 0.0),
         )
-    total_demand = float(demands.sum())
-    delivered_total = float(delivered.sum())
-    return FlowReport(
+    total_demand = demands.sum(axis=-1)
+    delivered_total = delivered.sum(axis=-1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        satisfied = np.where(
+            total_demand > 0,
+            delivered_total / np.maximum(total_demand, 1e-300),
+            0.0,
+        )
+    if post_util.shape[-1]:
+        max_util = post_util.max(axis=-1)
+        intended_mlu = util.max(axis=-1)
+    else:
+        max_util = np.zeros(num_matrices)
+        intended_mlu = np.zeros(num_matrices)
+    return BatchFlowReport(
         delivered_path_flows=delivered,
         intended_path_flows=intended,
         edge_loads=post_loads,
         total_demand=total_demand,
         delivered_total=delivered_total,
-        satisfied_fraction=(delivered_total / total_demand) if total_demand > 0 else 0.0,
-        max_link_utilization=float(post_util.max()) if post_util.size else 0.0,
-        intended_mlu=float(util.max()) if util.size else 0.0,
+        satisfied_fraction=satisfied,
+        max_link_utilization=max_util,
+        intended_mlu=intended_mlu,
     )
 
 

@@ -28,7 +28,7 @@ from ..config import TE_INTERVAL_SECONDS
 from ..exceptions import SimulationError
 from ..paths.pathset import PathSet
 from ..traffic.matrix import TrafficMatrix
-from .evaluator import Allocation, evaluate_allocation
+from .evaluator import Allocation, evaluate_allocation, evaluate_allocations_batch
 
 
 @dataclass(frozen=True)
@@ -114,15 +114,35 @@ class OnlineSimulator:
         capacities: np.ndarray | None = None,
         failure_at: int | None = None,
         failed_capacities: np.ndarray | None = None,
+        batched: bool = True,
     ) -> OnlineRunResult:
         """Run the control loop over a trace.
 
+        With ``batched=True`` (default) the replay is three vectorized
+        stages instead of a per-interval Python loop:
+
+        1. every interval's allocation is computed up front — via the
+           scheme's ``allocate_batch`` (one batched forward for Teal) or a
+           loop for schemes without one — which is equivalent because an
+           allocation depends only on that interval's demands and
+           capacities, never on the replay state;
+        2. the deployment schedule (staleness, §5.1) is resolved in plain
+           Python over the precomputed compute times;
+        3. all intervals are scored in one
+           :func:`evaluate_allocations_batch` call.
+
+        ``batched=False`` preserves the original streaming loop as a
+        reference path (equivalence-tested against the batched one).
+
         Args:
-            scheme: A :class:`~repro.baselines.base.TEScheme`.
+            scheme: A :class:`~repro.baselines.base.TEScheme` (or any
+                object with a compatible ``allocate``).
             matrices: Consecutive traffic matrices to replay.
             capacities: Nominal capacities (default: topology's).
             failure_at: Interval index at which failures strike (optional).
             failed_capacities: Capacities in effect from ``failure_at`` on.
+            batched: Use the vectorized replay (default) or the
+                interval-by-interval reference loop.
 
         Returns:
             An :class:`OnlineRunResult` with per-interval records.
@@ -140,17 +160,89 @@ class OnlineSimulator:
             capacities = self.pathset.topology.capacities
         capacities = np.asarray(capacities, dtype=float)
 
+        num_intervals = len(matrices)
+        caps_per_interval = np.broadcast_to(
+            capacities, (num_intervals, capacities.shape[0])
+        ).copy()
+        if failure_at is not None:
+            failed = np.asarray(failed_capacities, dtype=float)
+            caps_per_interval[failure_at:] = failed
+        demands_all = self.pathset.demand_volumes_batch(
+            np.stack([m.values for m in matrices])
+        )
+
+        allocations = self._compute_allocations(
+            scheme, demands_all, caps_per_interval, batched
+        )
+        deployed_ratios, ages = self._deployment_schedule(allocations)
+
+        results = OnlineRunResult(scheme=getattr(scheme, "name", "scheme"))
+        if batched:
+            batch_report = evaluate_allocations_batch(
+                self.pathset, deployed_ratios, demands_all, caps_per_interval
+            )
+            satisfied = batch_report.satisfied_fraction
+        else:
+            satisfied = np.array(
+                [
+                    evaluate_allocation(
+                        self.pathset,
+                        deployed_ratios[t],
+                        demands_all[t],
+                        caps_per_interval[t],
+                    ).satisfied_fraction
+                    for t in range(num_intervals)
+                ]
+            )
+        for t in range(num_intervals):
+            results.intervals.append(
+                IntervalResult(
+                    interval=t,
+                    satisfied_fraction=float(satisfied[t]),
+                    allocation_age=int(ages[t]),
+                    compute_time=allocations[t].compute_time,
+                    stale=bool(ages[t] > 0),
+                )
+            )
+        return results
+
+    def _compute_allocations(
+        self,
+        scheme,
+        demands_all: np.ndarray,
+        caps_per_interval: np.ndarray,
+        batched: bool,
+    ) -> list[Allocation]:
+        """Per-interval allocations, via ``allocate_batch`` when available."""
+        allocate_batch = getattr(scheme, "allocate_batch", None)
+        if batched and allocate_batch is not None:
+            return allocate_batch(self.pathset, demands_all, caps_per_interval)
+        return [
+            scheme.allocate(self.pathset, demands_all[t], caps_per_interval[t])
+            for t in range(demands_all.shape[0])
+        ]
+
+    def _deployment_schedule(
+        self, allocations: list[Allocation]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve which allocation serves each interval (§5.1 staleness).
+
+        Interval ``t`` kicks off computation on matrix ``t``; the result
+        deploys ``floor(compute_time / interval)`` intervals later (0 =
+        within budget = serves interval ``t`` itself). Returns the stacked
+        (T, D, k) deployed ratios and the (T,) allocation ages.
+        """
+        num_intervals = len(allocations)
         deployed = self._initial_allocation()
-        deployed_for_interval = 0  # interval whose matrix produced the routes
+        deployed_for_interval = 0
         # pending[i] = (ready_interval, started_interval, allocation)
         pending: list[tuple[int, int, Allocation]] = []
-        results = OnlineRunResult(scheme=getattr(scheme, "name", "scheme"))
+        ratios = np.empty(
+            (num_intervals, self.pathset.num_demands, self.pathset.max_paths)
+        )
+        ages = np.empty(num_intervals, dtype=int)
 
-        for t, matrix in enumerate(matrices):
-            current_caps = capacities
-            if failure_at is not None and t >= failure_at:
-                current_caps = np.asarray(failed_capacities, dtype=float)
-
+        for t in range(num_intervals):
             # Deploy the freshest allocation that finished computing by now.
             ready = [p for p in pending if p[0] <= t]
             if ready:
@@ -159,32 +251,18 @@ class OnlineSimulator:
                 deployed_for_interval = ready[-1][1]
                 pending = [p for p in pending if p[0] > t]
 
-            # Kick off this interval's computation.
-            demands = self.pathset.demand_volumes(matrix.values)
-            allocation = scheme.allocate(self.pathset, demands, current_caps)
+            allocation = allocations[t]
             # A scheme that finishes within the interval budget serves this
             # very interval (§5.1: within the 5-minute budget = fresh).
             delay_intervals = int(
                 np.floor(allocation.compute_time / self.interval_seconds)
             )
             if delay_intervals == 0:
-                # Finished within the interval: effective immediately.
                 deployed = allocation
                 deployed_for_interval = t
             else:
                 pending.append((t + delay_intervals, t, allocation))
 
-            report = evaluate_allocation(
-                self.pathset, deployed.split_ratios, demands, current_caps
-            )
-            age = t - deployed_for_interval
-            results.intervals.append(
-                IntervalResult(
-                    interval=t,
-                    satisfied_fraction=report.satisfied_fraction,
-                    allocation_age=age,
-                    compute_time=allocation.compute_time,
-                    stale=age > 0,
-                )
-            )
-        return results
+            ratios[t] = deployed.split_ratios
+            ages[t] = t - deployed_for_interval
+        return ratios, ages

@@ -1,0 +1,27 @@
+"""Shared test helpers (importable from every test module).
+
+Kept outside conftest.py so plain ``from helpers import ...`` works under
+pytest's rootdir-based sys.path handling without making ``tests/`` a
+package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f with respect to array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        fp = f()
+        x[idx] = original - eps
+        fm = f()
+        x[idx] = original
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad

@@ -6,11 +6,11 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from helpers import numerical_gradient
+
 from repro.exceptions import ModelError
 from repro.nn import Parameter, Tensor
 from repro.nn import functional as F
-
-from .test_nn_tensor import numerical_gradient
 
 
 class TestActivations:

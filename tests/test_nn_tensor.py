@@ -7,25 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from helpers import numerical_gradient
+
 from repro.exceptions import ModelError
 from repro.nn import Parameter, Tensor, as_tensor
-
-
-def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of scalar f with respect to array x."""
-    grad = np.zeros_like(x)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        original = x[idx]
-        x[idx] = original + eps
-        fp = f()
-        x[idx] = original - eps
-        fm = f()
-        x[idx] = original
-        grad[idx] = (fp - fm) / (2 * eps)
-        it.iternext()
-    return grad
 
 
 class TestBasics:
