@@ -15,7 +15,7 @@ import pytest
 from repro.harness import (
     make_baselines,
     run_offline_comparison,
-    run_online_comparison,
+    run_online_failure_sweep,
     scaled_te_interval,
 )
 from repro.topology import physical_links, sample_link_failures
@@ -41,27 +41,28 @@ def asn_failure_results(asn_scenario, training_config):
     interval = scaled_te_interval(offline)
     num_links = len(physical_links(asn_scenario.topology))
 
-    results: dict[float, dict] = {}
+    # Per-matrix capacity stacks: every (fraction, interval) pair becomes
+    # one row of a single batched forward per scheme; the online
+    # staleness semantics are applied per fraction on the slices
+    # (run_online_failure_sweep).
+    failure_cases: dict[float, tuple] = {}
     for fraction in _FAILURE_FRACTIONS:
         num_failures = int(round(fraction * num_links))
         if num_failures == 0:
-            results[fraction] = run_online_comparison(
-                asn_scenario, schemes, interval_seconds=interval
-            )
+            failure_cases[fraction] = (None, None)
             continue
         caps = asn_scenario.capacities.copy()
         failed = sample_link_failures(
             asn_scenario.topology, num_failures, seed=7
         )
         caps[failed] = 0.0
-        results[fraction] = run_online_comparison(
-            asn_scenario,
-            schemes,
-            interval_seconds=interval,
-            failure_at=2,
-            failed_capacities=caps,
-        )
-    return results
+        failure_cases[fraction] = (2, caps)
+    return run_online_failure_sweep(
+        asn_scenario,
+        schemes,
+        interval_seconds=interval,
+        failure_cases=failure_cases,
+    )
 
 
 def test_fig9_series(benchmark, asn_failure_results):

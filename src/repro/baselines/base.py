@@ -18,6 +18,7 @@ import numpy as np
 from ..lp.objectives import Objective, TotalFlowObjective
 from ..paths.pathset import PathSet
 from ..simulation.evaluator import Allocation
+from ..topology.graph import broadcast_capacities
 
 
 class TEScheme(ABC):
@@ -80,10 +81,7 @@ class TEScheme(ABC):
         self, pathset: PathSet, batch: int, capacities: np.ndarray | None
     ) -> np.ndarray:
         """Normalize a capacities argument to a (T, E) read-only stack."""
-        caps = self._capacities(pathset, capacities)
-        if caps.ndim == 1:
-            caps = np.broadcast_to(caps, (batch, caps.shape[0]))
-        return caps
+        return broadcast_capacities(self._capacities(pathset, capacities), batch)
 
     def _capacities(
         self, pathset: PathSet, capacities: np.ndarray | None

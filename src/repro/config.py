@@ -126,6 +126,10 @@ class TrainingConfig:
             executed before COMA* fine-tuning; 0 disables warm start.
         batch_demands: If set, subsample this many demands per step for the
             policy-gradient update (variance/time tradeoff on large graphs).
+        batch_matrices: Traffic matrices consumed per gradient step. Both
+            trainers run the whole minibatch through one batched forward
+            (the training analogue of the paper's GPU batching); 1
+            reproduces the classic one-matrix-per-step loop exactly.
         seed: RNG seed for action sampling and batching.
         log_every: Emit a progress record every this many steps.
         failure_rate: Probability per training step of sampling a
@@ -139,6 +143,7 @@ class TrainingConfig:
     steps: int = 200
     warm_start_steps: int = 100
     batch_demands: int | None = None
+    batch_matrices: int = 1
     seed: int = 0
     log_every: int = 50
     failure_rate: float = 0.0

@@ -2,13 +2,17 @@
 
 from .ablations import GlobalPolicyModel, NaiveDnnModel, NaiveGnnModel
 from .admm import AdmmFineTuner
+from .batching import SegmentOps
 from .checkpoint import load_model, save_model, transfer_weights
 from .coma import ComaTrainer, DecomposableReward, TrainingHistory, masked_softmax_np
 from .direct_loss import (
     DirectLossTrainer,
     mlu_surrogate_loss,
+    mlu_surrogate_loss_batch,
     model_path_flows,
+    model_path_flows_batch,
     surrogate_loss,
+    surrogate_loss_batch,
 )
 from .flowgnn import DemandDNNLayer, FlowGNN, FlowGNNLayer
 from .model import AllocatorModel, TealModel, grid_scatter_index
@@ -30,8 +34,12 @@ __all__ = [
     "masked_softmax_np",
     "DirectLossTrainer",
     "surrogate_loss",
+    "surrogate_loss_batch",
     "mlu_surrogate_loss",
+    "mlu_surrogate_loss_batch",
     "model_path_flows",
+    "model_path_flows_batch",
+    "SegmentOps",
     "AdmmFineTuner",
     "TealScheme",
     "NaiveDnnModel",

@@ -43,8 +43,24 @@ import numpy as np
 from ..config import AdmmConfig
 from ..exceptions import ModelError
 from ..paths.pathset import PathSet
+from ..topology.graph import broadcast_capacities
+from .batching import SegmentOps
 
 _EPS = 1e-9
+
+
+def _project_ratios(ratios: np.ndarray) -> np.ndarray:
+    """Project split ratios onto the simplex box: clip to [0, 1], then
+    renormalize any row whose sum exceeds 1.
+
+    Shared by every ADMM exit path (iterating or not, batched or not) so
+    the zero-iteration short-circuit returns allocations with the same
+    row-sum guarantee as the full solver. Operates on the trailing (k,)
+    axis, so (D, k) and (T, D, k) inputs both work.
+    """
+    ratios = np.clip(ratios, 0.0, 1.0)
+    sums = ratios.sum(axis=-1, keepdims=True)
+    return np.where(sums > 1.0, ratios / np.maximum(sums, _EPS), ratios)
 
 
 @dataclass
@@ -106,6 +122,13 @@ class AdmmFineTuner:
         self.iterations = self.config.resolve_iterations(
             pathset.topology.num_nodes
         )
+        # Tiled-index segment ops: the batched fine-tuner runs the same
+        # flat bincount/scatter primitives as the per-TM path over a
+        # (T, ...) stack (see core.batching), so both agree bit for bit.
+        s = self.structures
+        self._pair_to_path = SegmentOps(s.pair_path, s.num_paths)
+        self._pair_to_edge = SegmentOps(s.pair_edge, s.num_edges)
+        self._path_to_demand = SegmentOps(s.path_demand, s.num_demands)
 
     def fine_tune(
         self,
@@ -132,7 +155,7 @@ class AdmmFineTuner:
         capacities = np.asarray(capacities, dtype=float)
         iters = self.iterations if iterations is None else int(iterations)
         if iters <= 0:
-            return np.clip(split_ratios, 0.0, 1.0)
+            return _project_ratios(np.asarray(split_ratios, dtype=float))
 
         # Normalize volumes so rho is scale-free.
         scale = max(float(capacities[capacities > 0].mean()) if (capacities > 0).any() else 1.0, _EPS)
@@ -234,11 +257,134 @@ class AdmmFineTuner:
 
         ratios = np.zeros_like(F)
         ratios[valid] = F_flat[self.pathset.demand_path_ids[valid]]
-        ratios = np.clip(ratios, 0.0, 1.0)
-        sums = ratios.sum(axis=1, keepdims=True)
-        over = sums > 1.0
-        ratios = np.where(over, ratios / np.maximum(sums, _EPS), ratios)
-        return ratios
+        return _project_ratios(ratios)
+
+    def fine_tune_batch(
+        self,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+        iterations: int | None = None,
+    ) -> np.ndarray:
+        """Fine-tune a (T, ...) stack of allocations in one vectorized run.
+
+        The per-demand/per-edge independence of the F/z/s/dual blocks
+        (§3.4) makes each ADMM update flat vector math over segment
+        reductions; adding the matrix axis only tiles those segment
+        indices (see :mod:`repro.core.batching`), so T matrices cost T
+        times the arithmetic but a single pass of Python — and row ``t``
+        reproduces :meth:`fine_tune` on slice ``t`` exactly.
+
+        Args:
+            split_ratios: (T, D, k) warm-start ratios (e.g. batched model
+                output).
+            demands: (T, D) demand volumes.
+            capacities: (E,) shared or (T, E) per-matrix capacities;
+                defaults to the topology's.
+            iterations: Override the configured iteration count.
+
+        Returns:
+            (T, D, k) fine-tuned split ratios.
+        """
+        s = self.structures
+        split_ratios = np.asarray(split_ratios, dtype=float)
+        demands = np.asarray(demands, dtype=float)
+        num_matrices = demands.shape[0]
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        capacities = broadcast_capacities(capacities, num_matrices)
+        iters = self.iterations if iterations is None else int(iterations)
+        if iters <= 0 or num_matrices == 0:
+            return _project_ratios(split_ratios)
+
+        # Per-matrix scale normalization (rho stays scale-free per TM),
+        # computed row by row with the same compacted mean as fine_tune —
+        # a masked whole-row sum can differ in the last ulp, which would
+        # break the bit-for-bit parity with the per-TM loop.
+        pos_mean = np.array(
+            [
+                float(row[row > 0].mean()) if (row > 0).any() else 1.0
+                for row in capacities
+            ]
+        )
+        scale = np.maximum(pos_mean, _EPS)[:, None]  # (T, 1)
+        d_norm = demands / scale
+        c_norm = capacities / scale
+        rho = self.config.rho
+
+        d_p = d_norm[:, s.path_demand]  # (T, P)
+        w_p = self.path_values  # (P,) shared across the stack
+        a = np.maximum(d_p * d_p * s.hops, _EPS)
+
+        # Warm start (primal), stacked.
+        F = np.clip(split_ratios, 0.0, 1.0)
+        F_flat = np.zeros((num_matrices, s.num_paths))
+        valid = self.pathset.path_mask
+        F_flat[:, self.pathset.demand_path_ids[valid]] = F[:, valid]
+        z = (F_flat * d_p)[:, s.pair_path]  # (T, I)
+        sum_z = self._pair_to_edge.sum(z)
+        s1 = np.maximum(0.0, 1.0 - self._path_to_demand.sum(F_flat))
+        s3 = np.maximum(0.0, c_norm - sum_z)
+        # Dual warm start via complementary slackness (see fine_tune).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            warm_util = np.where(
+                c_norm > 0,
+                sum_z / np.maximum(c_norm, _EPS),
+                np.where(sum_z > _EPS, np.inf, 0.0),
+            )
+        congestion_price = (warm_util > 1.0).astype(float)
+        path_price = self._pair_to_path.sum(congestion_price[:, s.pair_edge])
+        reduced_value = np.maximum(0.0, w_p - path_price)
+        best_reduced = self._path_to_demand.max(reduced_value)
+        demand_volume = self._path_to_demand.max(d_p)
+        lam1 = demand_volume * best_reduced
+        lam3 = np.zeros((num_matrices, s.num_edges))
+        lam4 = np.zeros((num_matrices, len(s.pair_path)))
+
+        for _ in range(iters):
+            # ---- F-update: per-demand rank-1 + diagonal system ---------
+            lam4_per_path = self._pair_to_path.sum(lam4)
+            z_per_path = self._pair_to_path.sum(z)
+            b = (
+                d_p * w_p
+                - lam1[:, s.path_demand]
+                - d_p * lam4_per_path
+                + rho * (1.0 - s1[:, s.path_demand])
+                + rho * d_p * z_per_path
+            )
+            inv_a = 1.0 / a
+            sum_b_over_a = self._path_to_demand.sum(b * inv_a)
+            sum_inv_a = self._path_to_demand.sum(inv_a)
+            correction = sum_b_over_a / (1.0 + sum_inv_a)
+            F_flat = (inv_a / rho) * (b - correction[:, s.path_demand])
+            F_flat = np.clip(F_flat, 0.0, 1.0)
+
+            # ---- z-update: per-edge rank-1 + identity system ------------
+            beta = (
+                -lam3[:, s.pair_edge]
+                + lam4
+                + rho * (c_norm - s3)[:, s.pair_edge]
+                + rho * (F_flat * d_p)[:, s.pair_path]
+            )
+            sum_beta = self._pair_to_edge.sum(beta)
+            z = (
+                beta - (sum_beta / (1.0 + s.paths_per_edge))[:, s.pair_edge]
+            ) / rho
+
+            # ---- s-updates (non-negative slacks) -------------------------
+            sum_F = self._path_to_demand.sum(F_flat)
+            sum_z = self._pair_to_edge.sum(z)
+            s1 = np.maximum(0.0, (1.0 - sum_F) - lam1 / rho)
+            s3 = np.maximum(0.0, (c_norm - sum_z) - lam3 / rho)
+
+            # ---- dual updates -------------------------------------------
+            lam1 += rho * (sum_F + s1 - 1.0)
+            lam3 += rho * (sum_z + s3 - c_norm)
+            lam4 += rho * ((F_flat * d_p)[:, s.pair_path] - z)
+
+        ratios = np.zeros_like(F)
+        ratios[:, valid] = F_flat[:, self.pathset.demand_path_ids[valid]]
+        return _project_ratios(ratios)
 
     def constraint_violation(
         self,

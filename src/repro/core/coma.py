@@ -41,6 +41,7 @@ from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
 from ..simulation.evaluator import evaluate_allocation
 from ..traffic.matrix import TrafficMatrix
+from .batching import SegmentOps
 from .model import TealModel
 
 _EPS = 1e-12
@@ -68,7 +69,11 @@ def sample_training_capacities(
     short training budgets; see TrainingConfig for the rationale).
     """
     if config.failure_rate <= 0 or rng.random() >= config.failure_rate:
-        return capacities
+        # Defensive copy: trainers hold the returned array across the
+        # step (and batched training stacks several of them), so aliasing
+        # the caller's array here would let later in-place edits of the
+        # nominal capacities silently rewrite past training inputs.
+        return np.array(capacities, dtype=float)
     from ..topology.failures import sample_link_failures
 
     num_failures = int(rng.integers(1, config.max_training_failures + 1))
@@ -114,6 +119,11 @@ class DecomposableReward:
         keys = self.pair_demand * pathset.topology.num_edges + self.pair_edge
         _, self.key_inverse = np.unique(keys, return_inverse=True)
         self.num_keys = int(self.key_inverse.max()) + 1 if len(keys) else 0
+        # Tiled-index segment ops so a (T, ...) stack runs the identical
+        # flat primitives as the per-TM path (see core.batching).
+        self._key_ops = SegmentOps(self.key_inverse, self.num_keys)
+        self._path_ops = SegmentOps(self.pair_path, pathset.num_paths)
+        self._demand_ops = SegmentOps(pathset.path_demand, pathset.num_demands)
 
     def _own_edge_load(self, path_flows: np.ndarray) -> np.ndarray:
         """(I,) per-incidence-pair load contributed by the pair's demand."""
@@ -122,6 +132,11 @@ class DecomposableReward:
             self.key_inverse, weights=pair_flows, minlength=self.num_keys
         )
         return per_key[self.key_inverse]
+
+    def _own_edge_load_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        """(T, I) per-pair own loads for a (T, P) stack of path flows."""
+        per_key = self._key_ops.sum(path_flows[:, self.pair_path])
+        return per_key[:, self.key_inverse]
 
     def demand_values(
         self,
@@ -170,6 +185,51 @@ class DecomposableReward:
             ps.path_demand, weights=delivered_value, minlength=ps.num_demands
         )
         return per_demand
+
+    def demand_values_batch(
+        self,
+        base_flows: np.ndarray,
+        candidate_flows: np.ndarray,
+        capacities: np.ndarray,
+        base_loads: np.ndarray | None = None,
+        base_own: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """(T, D) per-demand counterfactual values over a minibatch.
+
+        The batched analogue of :meth:`demand_values`: every array gains a
+        leading (T,) axis and the segment reductions run over tiled
+        indices, so row ``t`` reproduces the per-TM result bit for bit.
+
+        Args:
+            base_flows: (T, P) intended flows of the joint actions.
+            candidate_flows: (T, P) flows under the candidate actions.
+            capacities: (T, E) per-matrix link capacities.
+            base_loads: Precomputed (T, E) edge loads of base_flows.
+            base_own: Precomputed (T, I) own-load pairs of base_flows.
+        """
+        ps = self.pathset
+        if base_loads is None:
+            base_loads = ps.edge_loads_batch(base_flows)
+        if base_own is None:
+            base_own = self._own_edge_load_batch(base_flows)
+        cand_own = self._own_edge_load_batch(candidate_flows)
+        pair_load = base_loads[:, self.pair_edge] - base_own + cand_own
+        caps = capacities[:, self.pair_edge]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                caps > 0,
+                pair_load / np.maximum(caps, _EPS),
+                np.where(pair_load > _EPS, np.inf, 0.0),
+            )
+        bottleneck = self._path_ops.max(util)
+
+        if self.is_mlu:
+            return -self._demand_ops.max(bottleneck)
+
+        scale = 1.0 / np.maximum(bottleneck, 1.0)
+        scale[~np.isfinite(scale)] = 0.0
+        delivered_value = candidate_flows * scale * self.path_values
+        return self._demand_ops.sum(delivered_value)
 
     def exact_demand_values(
         self,
@@ -239,18 +299,108 @@ class ComaTrainer:
         self.reward_model = DecomposableReward(model.pathset, self.objective)
         self.optimizer = Adam(model.parameters(), lr=model.hyper.learning_rate)
 
+    def step_advantages(
+        self,
+        actions: np.ndarray,
+        alt_actions: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """(T, D) normalized counterfactual advantages for one minibatch.
+
+        The pure-numpy half of a training step, factored out so the
+        batched-vs-looped agreement tests can drive it with fixed action
+        samples. Advantage normalization and the ``batch_demands``
+        subsample both follow per-matrix semantics (each row is
+        normalized independently; one demand subsample is shared by the
+        whole minibatch, which at T = 1 is the classic behaviour).
+
+        Args:
+            actions: (T, D, k) sampled joint actions.
+            alt_actions: (S, T, D, k) Monte-Carlo counterfactual samples.
+            demands: (T, D) demand volumes.
+            capacities: (T, E) per-matrix (failure-sampled) capacities.
+            rng: Generator for the optional demand subsample.
+        """
+        ps = self.model.pathset
+        mask = ps.path_mask
+        num_matrices = actions.shape[0]
+        ratios = masked_softmax_np(actions, mask)
+        base_flows = ps.split_ratios_to_path_flows_batch(ratios, demands)
+        base_loads = ps.edge_loads_batch(base_flows)
+        base_own = self.reward_model._own_edge_load_batch(base_flows)
+
+        if self.exact:
+            base_values = np.stack(
+                [
+                    np.full(
+                        ps.num_demands,
+                        self.objective.reward(
+                            ps, ratios[t], demands[t], capacities[t]
+                        ),
+                    )
+                    for t in range(num_matrices)
+                ]
+            )
+        else:
+            base_values = self.reward_model.demand_values_batch(
+                base_flows, base_flows, capacities, base_loads, base_own
+            )
+
+        baseline = np.zeros((num_matrices, ps.num_demands))
+        for sample in range(alt_actions.shape[0]):
+            alt_ratios = masked_softmax_np(alt_actions[sample], mask)
+            if self.exact:
+                for t in range(num_matrices):
+                    baseline[t] += self.reward_model.exact_demand_values(
+                        ratios[t], alt_ratios[t], demands[t], capacities[t]
+                    )
+            else:
+                alt_flows = ps.split_ratios_to_path_flows_batch(
+                    alt_ratios, demands
+                )
+                baseline += self.reward_model.demand_values_batch(
+                    base_flows, alt_flows, capacities, base_loads, base_own
+                )
+        baseline /= alt_actions.shape[0]
+        advantage = base_values - baseline
+        std = advantage.std(axis=-1, keepdims=True)
+        mean = advantage.mean(axis=-1, keepdims=True)
+        advantage = np.where(
+            std > _EPS, (advantage - mean) / np.maximum(std, _EPS), advantage
+        )
+
+        batch = self.config.batch_demands
+        if batch is not None and batch < ps.num_demands and rng is not None:
+            keep = rng.choice(ps.num_demands, size=batch, replace=False)
+            batch_mask = np.zeros(ps.num_demands)
+            batch_mask[keep] = 1.0
+            advantage = advantage * batch_mask
+        return advantage
+
     def train(
         self,
         matrices: list[TrafficMatrix],
         capacities: np.ndarray | None = None,
         steps: int | None = None,
+        batch_size: int | None = None,
     ) -> TrainingHistory:
         """Run the COMA* training loop over a traffic trace.
+
+        Every step consumes a minibatch of ``batch_size`` consecutive
+        matrices (default: ``config.batch_matrices``) through one batched
+        forward — action sampling, the decomposable reward, and the
+        counterfactual baseline are all vectorized across the minibatch,
+        so a single backward covers T matrices. ``batch_size=1``
+        reproduces the classic per-matrix loop (same RNG stream, same
+        updates).
 
         Args:
             matrices: Training traffic matrices (cycled through).
             capacities: Link capacities (default: topology's).
             steps: Override the configured step budget.
+            batch_size: Override ``config.batch_matrices``.
 
         Returns:
             A :class:`TrainingHistory` of rewards/losses.
@@ -265,59 +415,40 @@ class ComaTrainer:
             capacities = ps.topology.capacities
         capacities = np.asarray(capacities, dtype=float)
         total_steps = self.config.steps if steps is None else int(steps)
+        batch = (
+            self.config.batch_matrices if batch_size is None else int(batch_size)
+        )
+        if batch < 1:
+            raise TrainingError("batch_size must be >= 1")
         rng = np.random.default_rng(self.config.seed)
         mask = ps.path_mask
         history = TrainingHistory()
+        all_demands = [ps.demand_volumes(m.values) for m in matrices]
 
         for step in range(total_steps):
-            matrix = matrices[step % len(matrices)]
-            demands = ps.demand_volumes(matrix.values)
-            step_caps = sample_training_capacities(
-                ps, capacities, self.config, rng
+            indices = [
+                (step * batch + offset) % len(matrices)
+                for offset in range(batch)
+            ]
+            demands_b = np.stack([all_demands[i] for i in indices])
+            caps_b = np.stack(
+                [
+                    sample_training_capacities(ps, capacities, self.config, rng)
+                    for _ in indices
+                ]
             )
 
-            logits = self.model.logits(demands, step_caps)
+            logits = self.model.logits_batch(demands_b, caps_b)
             actions = self.model.policy.sample_actions(logits, rng)
-            ratios = masked_softmax_np(actions, mask)
-            base_flows = ps.split_ratios_to_path_flows(ratios, demands)
-            base_loads = ps.edge_loads(base_flows)
-            base_own = self.reward_model._own_edge_load(base_flows)
-
-            if self.exact:
-                base_values = np.full(
-                    ps.num_demands,
-                    self.objective.reward(ps, ratios, demands, step_caps),
-                )
-            else:
-                base_values = self.reward_model.demand_values(
-                    base_flows, base_flows, step_caps, base_loads, base_own
-                )
-
-            baseline = np.zeros(ps.num_demands)
-            for _ in range(self.samples):
-                alt_actions = self.model.policy.sample_actions(logits, rng)
-                alt_ratios = masked_softmax_np(alt_actions, mask)
-                if self.exact:
-                    baseline += self.reward_model.exact_demand_values(
-                        ratios, alt_ratios, demands, step_caps
-                    )
-                else:
-                    alt_flows = ps.split_ratios_to_path_flows(alt_ratios, demands)
-                    baseline += self.reward_model.demand_values(
-                        base_flows, alt_flows, step_caps, base_loads, base_own
-                    )
-            baseline /= self.samples
-            advantage = base_values - baseline
-            std = advantage.std()
-            if std > _EPS:
-                advantage = (advantage - advantage.mean()) / std
-
-            batch = self.config.batch_demands
-            if batch is not None and batch < ps.num_demands:
-                keep = rng.choice(ps.num_demands, size=batch, replace=False)
-                batch_mask = np.zeros(ps.num_demands)
-                batch_mask[keep] = 1.0
-                advantage = advantage * batch_mask
+            alt_actions = np.stack(
+                [
+                    self.model.policy.sample_actions(logits, rng)
+                    for _ in range(self.samples)
+                ]
+            )
+            advantage = self.step_advantages(
+                actions, alt_actions, demands_b, caps_b, rng
+            )
 
             log_prob = self.model.policy.log_prob(logits, actions)
             loss = -(Tensor(advantage) * log_prob).mean()
@@ -327,7 +458,15 @@ class ComaTrainer:
 
             if step % self.config.log_every == 0 or step == total_steps - 1:
                 greedy = masked_softmax_np(logits.numpy(), mask)
-                reward = self.objective.reward(ps, greedy, demands, capacities)
-                report = evaluate_allocation(ps, greedy, demands, capacities)
+                # Score the greedy allocation under the capacities its
+                # logits were computed for (the failure-sampled step
+                # capacities) — evaluating under the nominal capacities
+                # would report a reward for an input the model never saw.
+                reward = self.objective.reward(
+                    ps, greedy[0], demands_b[0], caps_b[0]
+                )
+                report = evaluate_allocation(
+                    ps, greedy[0], demands_b[0], caps_b[0]
+                )
                 history.record(step, reward, report.satisfied_fraction, loss.item())
         return history

@@ -20,7 +20,13 @@ standard p-norm smoothing of the max,
 
 used only as a warm start before COMA* fine-tuning (a documented
 reproduction addition — the paper's point that surrogates are
-objective-specific design work stands).
+objective-specific design work stands). The p-norm is evaluated in the
+overflow-safe factored form (see :func:`repro.nn.functional.p_norm`).
+
+Both surrogates come in per-matrix and minibatch flavours: the batched
+variants run a (T, D) demand stack and a (T, E) capacity stack through
+one ``forward_batch`` pass and return the mean per-matrix loss, so one
+backward covers the whole minibatch.
 """
 
 from __future__ import annotations
@@ -55,6 +61,66 @@ def model_path_flows(
     return F.take_rows(flat, model.scatter_index).reshape(ps.num_paths)
 
 
+def model_path_flows_batch(
+    model: AllocatorModel, demands: np.ndarray, capacities: np.ndarray
+) -> Tensor:
+    """Differentiable (T, P) intended path flows for a minibatch.
+
+    One ``forward_batch`` pass produces the whole stack; the gather to
+    per-path layout is shared across the batch (``take_rows`` scatters
+    gradients per batch element).
+
+    Args:
+        model: The model (provides ratios differentiably).
+        demands: (T, D) demand volumes.
+        capacities: (T, E) link capacities.
+    """
+    ps = model.pathset
+    ratios = model.forward_batch(demands, capacities)  # (T, D, k)
+    demand_grid = demands[:, :, None] * ps.path_mask  # (T, D, k)
+    flows_grid = ratios * Tensor(demand_grid)
+    num_matrices = demands.shape[0]
+    flat = flows_grid.reshape(num_matrices, ps.num_demands * ps.max_paths, 1)
+    return F.take_rows(flat, model.scatter_index).reshape(
+        num_matrices, ps.num_paths
+    )
+
+
+def surrogate_loss_batch(
+    model: AllocatorModel,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    path_values: np.ndarray,
+    overuse_weight: float = 1.0,
+) -> Tensor:
+    """Mean negated flow surrogate over a minibatch (Appendix A).
+
+    Each matrix's loss is normalized by its own total demand (exactly the
+    per-matrix semantics), then averaged, so the batched gradient is the
+    mean of the per-TM gradients.
+
+    Args:
+        model: The model (provides ratios differentiably).
+        demands: (T, D) demand volumes.
+        capacities: (T, E) link capacities.
+        path_values: (P,) per-unit-flow objective weights.
+        overuse_weight: Multiplier on the link-overuse penalty.
+
+    Returns:
+        Scalar loss tensor (lower is better).
+    """
+    ps = model.pathset
+    num_matrices = demands.shape[0]
+    path_flows = model_path_flows_batch(model, demands, capacities)
+    value = (path_flows * Tensor(path_values)).sum(axis=-1)  # (T,)
+    loads = F.sparse_matmul(
+        ps.edge_path_incidence, path_flows.reshape(num_matrices, ps.num_paths, 1)
+    ).reshape(num_matrices, ps.topology.num_edges)
+    overuse = F.relu(loads - Tensor(capacities)).sum(axis=-1)  # (T,)
+    scale = np.maximum(demands.sum(axis=-1), 1e-9)
+    return ((overuse * overuse_weight - value) * Tensor(1.0 / scale)).mean()
+
+
 def surrogate_loss(
     model: AllocatorModel,
     demands: np.ndarray,
@@ -85,6 +151,36 @@ def surrogate_loss(
     return (overuse * overuse_weight - value) / scale
 
 
+def mlu_surrogate_loss_batch(
+    model: AllocatorModel,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    p: float = 8.0,
+) -> Tensor:
+    """Mean p-norm MLU surrogate over a minibatch (warm start for MLU).
+
+    Failed (zero-capacity) links are excluded from the norm; the p-norm
+    uses the overflow-safe factored form per matrix.
+
+    Args:
+        model: The model (provides ratios differentiably).
+        demands: (T, D) demand volumes.
+        capacities: (T, E) link capacities.
+        p: Norm order of the max smoothing.
+    """
+    ps = model.pathset
+    num_matrices = demands.shape[0]
+    path_flows = model_path_flows_batch(model, demands, capacities)
+    loads = F.sparse_matmul(
+        ps.edge_path_incidence, path_flows.reshape(num_matrices, ps.num_paths, 1)
+    ).reshape(num_matrices, ps.topology.num_edges)
+    inverse_caps = np.where(
+        capacities > 0, 1.0 / np.maximum(capacities, 1e-12), 0.0
+    )
+    utilization = loads * Tensor(inverse_caps)  # (T, E)
+    return F.p_norm(utilization, p, axis=-1).mean()
+
+
 def mlu_surrogate_loss(
     model: AllocatorModel,
     demands: np.ndarray,
@@ -95,6 +191,8 @@ def mlu_surrogate_loss(
 
     Failed (zero-capacity) links are excluded from the norm — their
     utilization is handled by the feasibility semantics, not by MLU.
+    The norm is computed in the factored ``max * ((u/max)^p sum)^(1/p)``
+    form, which cannot overflow however overloaded the links are.
     """
     ps = model.pathset
     path_flows = model_path_flows(model, demands, capacities)
@@ -103,7 +201,7 @@ def mlu_surrogate_loss(
     ).reshape(ps.topology.num_edges)
     inverse_caps = np.where(capacities > 0, 1.0 / np.maximum(capacities, 1e-12), 0.0)
     utilization = loads * Tensor(inverse_caps)
-    return ((utilization ** p).sum() + 1e-12) ** (1.0 / p)
+    return F.p_norm(utilization, p, axis=-1)
 
 
 class DirectLossTrainer:
@@ -143,9 +241,18 @@ class DirectLossTrainer:
         self.optimizer = Adam(model.parameters(), lr=model.hyper.learning_rate)
 
     def _loss(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        """Per-matrix loss ((D,) / (E,) inputs) — the classic path."""
         if self.is_mlu:
             return mlu_surrogate_loss(self.model, demands, capacities)
         return surrogate_loss(
+            self.model, demands, capacities, self.path_values, self.overuse_weight
+        )
+
+    def _loss_batch(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
+        """Mean minibatch loss ((T, D) / (T, E) inputs)."""
+        if self.is_mlu:
+            return mlu_surrogate_loss_batch(self.model, demands, capacities)
+        return surrogate_loss_batch(
             self.model, demands, capacities, self.path_values, self.overuse_weight
         )
 
@@ -154,8 +261,16 @@ class DirectLossTrainer:
         matrices: list[TrafficMatrix],
         capacities: np.ndarray | None = None,
         steps: int | None = None,
+        batch_size: int | None = None,
     ) -> TrainingHistory:
-        """Run gradient descent on the surrogate loss over a trace."""
+        """Run gradient descent on the surrogate loss over a trace.
+
+        Every step consumes a minibatch of ``batch_size`` consecutive
+        matrices (default: ``config.batch_matrices``) through one batched
+        forward/backward; the loss is the mean of the per-matrix
+        surrogate losses, so ``batch_size=1`` reproduces the classic
+        one-matrix-per-step loop.
+        """
         if not matrices:
             raise TrainingError("training requires at least one traffic matrix")
         ps = self.model.pathset
@@ -163,23 +278,40 @@ class DirectLossTrainer:
             capacities = ps.topology.capacities
         capacities = np.asarray(capacities, dtype=float)
         total_steps = self.config.steps if steps is None else int(steps)
+        batch = (
+            self.config.batch_matrices if batch_size is None else int(batch_size)
+        )
+        if batch < 1:
+            raise TrainingError("batch_size must be >= 1")
         history = TrainingHistory()
         rng = np.random.default_rng(self.config.seed + 101)
+        all_demands = [ps.demand_volumes(m.values) for m in matrices]
 
         for step in range(total_steps):
-            matrix = matrices[step % len(matrices)]
-            demands = ps.demand_volumes(matrix.values)
-            step_caps = sample_training_capacities(
-                ps, capacities, self.config, rng
+            indices = [
+                (step * batch + offset) % len(matrices)
+                for offset in range(batch)
+            ]
+            demands_b = np.stack([all_demands[i] for i in indices])
+            caps_b = np.stack(
+                [
+                    sample_training_capacities(ps, capacities, self.config, rng)
+                    for _ in indices
+                ]
             )
-            loss = self._loss(demands, step_caps)
+            loss = self._loss_batch(demands_b, caps_b)
             self.optimizer.zero_grad()
             loss.backward()
             self.optimizer.step()
 
             if step % self.config.log_every == 0 or step == total_steps - 1:
-                ratios = self.model.split_ratios(demands, capacities)
-                reward = self.objective.reward(ps, ratios, demands, capacities)
-                report = evaluate_allocation(ps, ratios, demands, capacities)
+                # Score the model under the same (failure-sampled)
+                # capacities the training loss saw, so the logged reward
+                # and loss describe the same input.
+                ratios = self.model.split_ratios(demands_b[0], caps_b[0])
+                reward = self.objective.reward(
+                    ps, ratios, demands_b[0], caps_b[0]
+                )
+                report = evaluate_allocation(ps, ratios, demands_b[0], caps_b[0])
                 history.record(step, reward, report.satisfied_fraction, loss.item())
         return history

@@ -30,6 +30,7 @@ from ..nn import functional as F
 from ..nn.layers import Linear, Module
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
+from ..topology.graph import broadcast_capacities
 
 
 class FlowGNNLayer(Module):
@@ -246,15 +247,11 @@ class FlowGNN(Module):
             Batched PathNode embeddings (B, P, embedding_dim).
         """
         demands = np.asarray(demands, dtype=float)
-        capacities = np.asarray(capacities, dtype=float)
         pathset = self.pathset
         if demands.ndim != 2 or demands.shape[1] != pathset.num_demands:
             raise ModelError("demands must be (batch, num_demands)")
         batch = demands.shape[0]
-        if capacities.ndim == 1:
-            capacities = np.broadcast_to(
-                capacities, (batch, capacities.shape[0])
-            )
+        capacities = broadcast_capacities(capacities, batch)
         if capacities.shape != (batch, pathset.topology.num_edges):
             raise ModelError("capacities must be (num_edges,) or (batch, num_edges)")
 

@@ -14,6 +14,7 @@ from ..exceptions import ModelError
 from ..nn.layers import Module
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
+from ..topology.graph import broadcast_capacities
 from .flowgnn import FlowGNN
 from .policy import PolicyNetwork
 
@@ -85,11 +86,7 @@ class AllocatorModel(Module):
         from ..nn import functional as F
 
         demands = np.asarray(demands, dtype=float)
-        capacities = np.asarray(capacities, dtype=float)
-        if capacities.ndim == 1:
-            capacities = np.broadcast_to(
-                capacities, (demands.shape[0], capacities.shape[0])
-            )
+        capacities = broadcast_capacities(capacities, demands.shape[0])
         num_demands = self.pathset.num_demands
         max_paths = self.pathset.max_paths
         if demands.shape[0] == 0:

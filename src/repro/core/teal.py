@@ -143,9 +143,8 @@ class TealScheme(TEScheme):
         demands: np.ndarray,
         capacities: np.ndarray,
         forward_time: float,
-        extra_fields: dict | None = None,
     ) -> Allocation:
-        """ADMM fine-tuning + bookkeeping shared by the per-TM and batched paths."""
+        """ADMM fine-tuning + bookkeeping of the per-TM deployment path."""
         admm_time = 0.0
         if self.use_admm:
             admm_start = time.perf_counter()
@@ -167,8 +166,6 @@ class TealScheme(TEScheme):
             "admm_iterations": self.admm.iterations if self.use_admm else 0,
             "trained": self.trained,
         }
-        if extra_fields:
-            extras.update(extra_fields)
         return Allocation(
             split_ratios=ratios,
             compute_time=forward_time + admm_time,
@@ -192,7 +189,9 @@ class TealScheme(TEScheme):
         latency of :meth:`allocate`, modestly lower by the amortized
         Python overhead — so downstream staleness and Fig 6a/7a-style
         comparisons keep per-TM semantics. ADMM fine-tuning (when
-        enabled) remains a cheap per-matrix refinement loop.
+        enabled) is batched too: one ``fine_tune_batch`` run repairs the
+        whole stack and one ``reward_batch`` pass applies the per-matrix
+        acceptance check, so fine-tuning is no longer a per-matrix tail.
 
         Args:
             pathset: Must match the model's pathset (as in :meth:`allocate`).
@@ -214,15 +213,36 @@ class TealScheme(TEScheme):
         ratios_batch = self.model.split_ratios_batch(demands, caps)
         forward_time = (time.perf_counter() - start) / num_matrices
 
-        batch_fields = {"batched": True, "batch_size": num_matrices}
+        admm_time = 0.0
+        if self.use_admm:
+            admm_start = time.perf_counter()
+            tuned = self.admm.fine_tune_batch(ratios_batch, demands, caps)
+            # Per-matrix acceptance check (see _finalize_allocation), as
+            # two batched scoring passes over the stack.
+            tuned_rewards = self.objective.reward_batch(
+                pathset, tuned, demands, caps
+            )
+            raw_rewards = self.objective.reward_batch(
+                pathset, ratios_batch, demands, caps
+            )
+            accept = tuned_rewards >= raw_rewards
+            ratios_batch = np.where(accept[:, None, None], tuned, ratios_batch)
+            admm_time = (time.perf_counter() - admm_start) / num_matrices
+
+        extras = {
+            "forward_time": forward_time,
+            "admm_time": admm_time,
+            "admm_iterations": self.admm.iterations if self.use_admm else 0,
+            "trained": self.trained,
+            "batched": True,
+            "batch_size": num_matrices,
+        }
         return [
-            self._finalize_allocation(
-                pathset,
-                ratios_batch[t],
-                demands[t],
-                caps[t],
-                forward_time,
-                extra_fields=batch_fields,
+            Allocation(
+                split_ratios=ratios_batch[t],
+                compute_time=forward_time + admm_time,
+                scheme=self.name,
+                extras=dict(extras),
             )
             for t in range(num_matrices)
         ]

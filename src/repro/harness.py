@@ -25,12 +25,12 @@ from .baselines import LpAll, LpTop, NCFlow, Pop, TeavarStar
 from .config import AdmmConfig, TrainingConfig
 from .core import TealScheme
 from .exceptions import ReproError
-from .lp.objectives import Objective, get_objective
+from .lp.objectives import Objective, TotalFlowObjective, get_objective
 from .paths.pathset import PathSet
 from .simulation.evaluator import evaluate_allocations_batch
 from .simulation.metrics import SchemeRun
 from .topology.generators import get_topology, provision_capacities
-from .topology.graph import Topology
+from .topology.graph import Topology, broadcast_capacities
 from .traffic.matrix import TrafficMatrix
 from .traffic.trace import TraceSplit, TrafficTrace
 
@@ -230,6 +230,55 @@ def trained_teal(
     return teal
 
 
+def _allocate_all(
+    scheme,
+    pathset: PathSet,
+    demands_all: np.ndarray,
+    capacities: np.ndarray,
+    batched: bool = True,
+) -> list:
+    """Per-matrix allocations via ``allocate_batch`` when available.
+
+    The single allocate-or-loop fallback shared by the offline
+    comparison and both failure sweeps.
+
+    Args:
+        scheme: The TE scheme (duck-typed; ``allocate_batch`` optional).
+        pathset: The path set.
+        demands_all: (T, D) stacked demand volumes.
+        capacities: (E,) shared or (T, E) per-matrix capacities.
+        batched: Allow the scheme's batched path (False forces the
+            per-TM loop for strict per-matrix latency numbers).
+    """
+    allocate_batch = getattr(scheme, "allocate_batch", None)
+    if batched and allocate_batch is not None:
+        return allocate_batch(pathset, demands_all, capacities)
+    caps = broadcast_capacities(capacities, demands_all.shape[0])
+    return [
+        scheme.allocate(pathset, demands_all[t], caps[t])
+        for t in range(demands_all.shape[0])
+    ]
+
+
+def _objective_values(
+    objective: Objective,
+    pathset: PathSet,
+    batch_report,
+    ratios: np.ndarray,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+) -> np.ndarray:
+    """(T,) objective values for a scored allocation stack.
+
+    For the default total-flow objective the value is the delivered
+    total the scoring pass already computed; anything else runs one
+    batched evaluation instead of a per-matrix loop.
+    """
+    if type(objective) is TotalFlowObjective:
+        return batch_report.delivered_total
+    return objective.evaluate_batch(pathset, ratios, demands, capacities)
+
+
 def run_offline_comparison(
     scenario: Scenario,
     schemes: dict[str, object],
@@ -275,29 +324,170 @@ def run_offline_comparison(
         np.stack([m.values for m in matrices])
     )
     for name, scheme in schemes.items():
-        allocate_batch = getattr(scheme, "allocate_batch", None)
-        if batched and allocate_batch is not None:
-            allocations = allocate_batch(scenario.pathset, demands_all, caps)
-        else:
-            allocations = [
-                scheme.allocate(scenario.pathset, demands, caps)
-                for demands in demands_all
-            ]
+        allocations = _allocate_all(
+            scheme, scenario.pathset, demands_all, caps, batched
+        )
         ratios_all = np.stack([a.split_ratios for a in allocations])
         batch_report = evaluate_allocations_batch(
             scenario.pathset, ratios_all, demands_all, caps
         )
+        values = _objective_values(
+            objective, scenario.pathset, batch_report, ratios_all, demands_all, caps
+        )
         for t, allocation in enumerate(allocations):
-            value = objective.evaluate(
-                scenario.pathset, allocation.split_ratios, demands_all[t], caps
-            )
             runs[name].add(
                 satisfied=batch_report.satisfied_fraction[t],
                 compute_time=allocation.compute_time,
-                objective_value=value,
+                objective_value=float(values[t]),
                 extras=allocation.extras,
             )
     return runs
+
+
+def run_failure_sweep(
+    scenario: Scenario,
+    schemes: dict[str, object],
+    capacity_sets: dict,
+    matrices: list[TrafficMatrix] | None = None,
+    objective: Objective | None = None,
+) -> dict:
+    """Offline comparison across several capacity states in one batch.
+
+    The failure-sweep analogue of :func:`run_offline_comparison`: instead
+    of one comparison run per failure level, every (failure level,
+    traffic matrix) combination becomes one row of a single
+    (K * T, D) demand / (K * T, E) capacity stack, so each scheme's whole
+    sweep shares *one* batched forward (one ``allocate_batch`` call, one
+    ADMM fine-tuning run, one evaluation pass for Teal) instead of K.
+
+    Args:
+        scenario: The workload.
+        schemes: Mapping name -> scheme.
+        capacity_sets: Mapping sweep key (e.g. failure count) -> (E,)
+            capacity vector in effect for that level.
+        matrices: Matrices evaluated at every level (default: test split).
+        objective: Objective whose raw value is also recorded.
+
+    Returns:
+        Mapping sweep key -> (mapping scheme name -> :class:`SchemeRun`),
+        each entry equal to the corresponding
+        :func:`run_offline_comparison` result.
+    """
+    if matrices is None:
+        matrices = scenario.split.test
+    if objective is None:
+        objective = get_objective("total_flow")
+    keys = list(capacity_sets)
+    results: dict = {
+        key: {name: SchemeRun(scheme=name) for name in schemes} for key in keys
+    }
+    if not matrices or not keys:
+        return results
+
+    num_matrices = len(matrices)
+    demands_one = scenario.pathset.demand_volumes_batch(
+        np.stack([m.values for m in matrices])
+    )
+    demands_all = np.tile(demands_one, (len(keys), 1))
+    caps_all = np.repeat(
+        np.stack([np.asarray(capacity_sets[key], dtype=float) for key in keys]),
+        num_matrices,
+        axis=0,
+    )
+
+    for name, scheme in schemes.items():
+        allocations = _allocate_all(scheme, scenario.pathset, demands_all, caps_all)
+        ratios_all = np.stack([a.split_ratios for a in allocations])
+        batch_report = evaluate_allocations_batch(
+            scenario.pathset, ratios_all, demands_all, caps_all
+        )
+        values = _objective_values(
+            objective, scenario.pathset, batch_report, ratios_all, demands_all,
+            caps_all,
+        )
+        for row, allocation in enumerate(allocations):
+            key = keys[row // num_matrices]
+            results[key][name].add(
+                satisfied=batch_report.satisfied_fraction[row],
+                compute_time=allocation.compute_time,
+                objective_value=float(values[row]),
+                extras=allocation.extras,
+            )
+    return results
+
+
+def run_online_failure_sweep(
+    scenario: Scenario,
+    schemes: dict[str, object],
+    interval_seconds: float,
+    failure_cases: dict,
+    matrices: list[TrafficMatrix] | None = None,
+) -> dict:
+    """Online comparisons across failure scenarios sharing one forward.
+
+    Each failure case replays the same trace with its own per-interval
+    capacity timeline (nominal until the failure strikes, degraded
+    after). All cases' (interval, capacity) rows are stacked and every
+    scheme allocates for the whole sweep in one ``allocate_batch`` call;
+    the slices are then fed back into :meth:`OnlineSimulator.run` as
+    precomputed allocations, which keeps the staleness/deployment
+    semantics per case.
+
+    Args:
+        scenario: The workload.
+        schemes: Mapping name -> scheme.
+        interval_seconds: TE interval (see :func:`scaled_te_interval`).
+        failure_cases: Mapping sweep key -> ``(failure_at,
+            failed_capacities)``; use ``(None, None)`` for a no-failure
+            case.
+        matrices: Matrices to replay (default: the test split).
+
+    Returns:
+        Mapping sweep key -> (mapping scheme name ->
+        :class:`~repro.simulation.online.OnlineRunResult`).
+    """
+    from .simulation.online import OnlineSimulator, interval_capacities
+
+    if matrices is None:
+        matrices = scenario.split.test
+    if not matrices:
+        raise ReproError("online failure sweep needs at least one matrix")
+    num_intervals = len(matrices)
+    keys = list(failure_cases)
+    simulator = OnlineSimulator(scenario.pathset, interval_seconds)
+    if not keys:
+        return {}
+
+    demands_one = scenario.pathset.demand_volumes_batch(
+        np.stack([m.values for m in matrices])
+    )
+    demands_all = np.tile(demands_one, (len(keys), 1))
+    caps_all = np.concatenate(
+        [
+            interval_capacities(
+                scenario.capacities, num_intervals, failure_at, failed
+            )
+            for failure_at, failed in failure_cases.values()
+        ]
+    )
+
+    results: dict = {key: {} for key in keys}
+    for name, scheme in schemes.items():
+        allocations = _allocate_all(scheme, scenario.pathset, demands_all, caps_all)
+        for index, key in enumerate(keys):
+            failure_at, failed = failure_cases[key]
+            case_slice = allocations[
+                index * num_intervals : (index + 1) * num_intervals
+            ]
+            results[key][name] = simulator.run(
+                scheme,
+                matrices,
+                capacities=scenario.capacities,
+                failure_at=failure_at,
+                failed_capacities=failed,
+                allocations=case_slice,
+            )
+    return results
 
 
 def scaled_te_interval(

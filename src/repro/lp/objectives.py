@@ -29,7 +29,8 @@ import numpy as np
 
 from ..exceptions import SolverError
 from ..paths.pathset import PathSet
-from ..simulation.evaluator import evaluate_allocation
+from ..simulation.evaluator import evaluate_allocation, evaluate_allocations_batch
+from ..topology.graph import broadcast_capacities
 
 
 class Objective(ABC):
@@ -50,6 +51,35 @@ class Objective(ABC):
     ) -> float:
         """Raw metric of an allocation (feasibility enforced first)."""
 
+    def evaluate_batch(
+        self,
+        pathset: PathSet,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """(T,) raw metrics of a stack of allocations.
+
+        The default loops :meth:`evaluate` so every objective supports
+        the batched API; objectives whose metric vectorizes (all three
+        built-ins) override it with one
+        :func:`~repro.simulation.evaluator.evaluate_allocations_batch`
+        pass.
+
+        Args:
+            pathset: The path set.
+            split_ratios: (T, D, k) stacked split ratios.
+            demands: (T, D) stacked demand volumes.
+            capacities: (E,) shared, (T, E) per-matrix, or None.
+        """
+        caps = _capacities_stack(pathset, capacities, demands.shape[0])
+        return np.array(
+            [
+                self.evaluate(pathset, split_ratios[t], demands[t], caps[t])
+                for t in range(demands.shape[0])
+            ]
+        )
+
     def reward(
         self,
         pathset: PathSet,
@@ -61,6 +91,17 @@ class Objective(ABC):
         value = self.evaluate(pathset, split_ratios, demands, capacities)
         return value if self.sense == "max" else -value
 
+    def reward_batch(
+        self,
+        pathset: PathSet,
+        split_ratios: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """(T,) rewards (metric signed so higher is better) for a stack."""
+        values = self.evaluate_batch(pathset, split_ratios, demands, capacities)
+        return values if self.sense == "max" else -values
+
     def path_values(self, pathset: PathSet) -> np.ndarray:
         """Per-unit-flow value of each path (flow-type objectives only)."""
         raise SolverError(f"objective {self.name} has no per-path flow values")
@@ -68,6 +109,15 @@ class Objective(ABC):
     def requires_full_routing(self) -> bool:
         """Whether all demand must be routed (equality demand constraints)."""
         return False
+
+
+def _capacities_stack(
+    pathset: PathSet, capacities: np.ndarray | None, num_matrices: int
+) -> np.ndarray:
+    """Normalize a (E,)/(T, E)/None capacities argument to a (T, E) stack."""
+    if capacities is None:
+        capacities = pathset.topology.capacities
+    return broadcast_capacities(capacities, num_matrices)
 
 
 class TotalFlowObjective(Objective):
@@ -81,6 +131,14 @@ class TotalFlowObjective(Objective):
 
     def evaluate(self, pathset, split_ratios, demands, capacities=None) -> float:
         report = evaluate_allocation(pathset, split_ratios, demands, capacities)
+        return report.delivered_total
+
+    def evaluate_batch(
+        self, pathset, split_ratios, demands, capacities=None
+    ) -> np.ndarray:
+        report = evaluate_allocations_batch(
+            pathset, split_ratios, demands, capacities
+        )
         return report.delivered_total
 
 
@@ -117,6 +175,31 @@ class MinMaxLinkUtilizationObjective(Objective):
             )
         return float(util.max()) if util.size else 0.0
 
+    def evaluate_batch(
+        self, pathset, split_ratios, demands, capacities=None
+    ) -> np.ndarray:
+        demands = np.asarray(demands, dtype=float)
+        num_matrices = demands.shape[0]
+        capacities = _capacities_stack(pathset, capacities, num_matrices)
+        ratios = np.clip(np.asarray(split_ratios, dtype=float), 0.0, None)
+        sums = ratios.sum(axis=-1, keepdims=True)
+        fallback = np.zeros_like(ratios)
+        fallback[..., 0] = 1.0
+        ratios = np.where(
+            sums > 1e-12, ratios / np.maximum(sums, 1e-12), fallback
+        )
+        flows = pathset.split_ratios_to_path_flows_batch(ratios, demands)
+        loads = pathset.edge_loads_batch(flows)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                capacities > 0,
+                loads / np.maximum(capacities, 1e-300),
+                np.where(loads > 0, np.inf, 0.0),
+            )
+        if not util.shape[-1]:
+            return np.zeros(num_matrices)
+        return util.max(axis=-1)
+
 
 class DelayPenalizedFlowObjective(Objective):
     """Maximize total flow with delay penalties (§5.5, Figure 12).
@@ -146,6 +229,14 @@ class DelayPenalizedFlowObjective(Objective):
     def evaluate(self, pathset, split_ratios, demands, capacities=None) -> float:
         report = evaluate_allocation(pathset, split_ratios, demands, capacities)
         return float(report.delivered_path_flows @ self.path_values(pathset))
+
+    def evaluate_batch(
+        self, pathset, split_ratios, demands, capacities=None
+    ) -> np.ndarray:
+        report = evaluate_allocations_batch(
+            pathset, split_ratios, demands, capacities
+        )
+        return report.delivered_path_flows @ self.path_values(pathset)
 
 
 #: Registry of the paper's objectives by name.

@@ -11,7 +11,12 @@ from .evaluator import (
 )
 from .fallback import FallbackScheme
 from .metrics import SchemeRun, format_comparison_table, speedup
-from .online import IntervalResult, OnlineRunResult, OnlineSimulator
+from .online import (
+    IntervalResult,
+    OnlineRunResult,
+    OnlineSimulator,
+    interval_capacities,
+)
 
 __all__ = [
     "Allocation",
@@ -24,6 +29,7 @@ __all__ = [
     "OnlineSimulator",
     "OnlineRunResult",
     "IntervalResult",
+    "interval_capacities",
     "SchemeRun",
     "speedup",
     "format_comparison_table",

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..exceptions import SimulationError
 from ..paths.pathset import PathSet
+from ..topology.graph import broadcast_capacities
 
 #: Utilization assigned to flows crossing a zero-capacity (failed) link.
 _INFINITE_UTILIZATION = np.inf
@@ -250,11 +251,7 @@ def evaluate_allocations_batch(
     num_matrices = demands.shape[0]
     if capacities is None:
         capacities = pathset.topology.capacities
-    capacities = np.asarray(capacities, dtype=float)
-    if capacities.ndim == 1:
-        capacities = np.broadcast_to(
-            capacities, (num_matrices, capacities.shape[0])
-        )
+    capacities = broadcast_capacities(capacities, num_matrices)
     if capacities.shape != (num_matrices, pathset.topology.num_edges):
         raise SimulationError("capacities shape mismatch")
 

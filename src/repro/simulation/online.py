@@ -85,6 +85,41 @@ class OnlineRunResult:
         return np.array([r.satisfied_fraction for r in self.intervals])
 
 
+def interval_capacities(
+    capacities: np.ndarray,
+    num_intervals: int,
+    failure_at: int | None = None,
+    failed_capacities: np.ndarray | None = None,
+) -> np.ndarray:
+    """(T, E) per-interval capacity stack with an optional failure event.
+
+    The single source of the failure-timeline semantics: nominal
+    capacities up to ``failure_at``, failed capacities from then on.
+    Shared by :meth:`OnlineSimulator.run` and the harness failure sweeps
+    (which stack several of these into one batched forward).
+
+    Raises:
+        SimulationError: If ``failure_at`` is set without capacities
+            (``np.asarray(None)`` would otherwise broadcast NaN rows).
+    """
+    capacities = np.asarray(capacities, dtype=float)
+    stack = np.broadcast_to(
+        capacities, (num_intervals, capacities.shape[0])
+    ).copy()
+    if failure_at is not None:
+        if failed_capacities is None:
+            raise SimulationError(
+                "failure_at requires failed_capacities"
+            )
+        failed = np.asarray(failed_capacities, dtype=float)
+        if failed.shape != capacities.shape:
+            raise SimulationError(
+                f"failed_capacities shape {failed.shape} != {capacities.shape}"
+            )
+        stack[failure_at:] = failed
+    return stack
+
+
 class OnlineSimulator:
     """Replays traffic through the TE control loop with computation delay.
 
@@ -115,6 +150,7 @@ class OnlineSimulator:
         failure_at: int | None = None,
         failed_capacities: np.ndarray | None = None,
         batched: bool = True,
+        allocations: list[Allocation] | None = None,
     ) -> OnlineRunResult:
         """Run the control loop over a trace.
 
@@ -143,6 +179,11 @@ class OnlineSimulator:
             failed_capacities: Capacities in effect from ``failure_at`` on.
             batched: Use the vectorized replay (default) or the
                 interval-by-interval reference loop.
+            allocations: Optional precomputed per-interval allocations
+                (e.g. a slice of one big ``allocate_batch`` covering
+                several failure scenarios, see
+                :func:`repro.harness.run_online_failure_sweep`); skips
+                the allocation stage but keeps scoring and staleness.
 
         Returns:
             An :class:`OnlineRunResult` with per-interval records.
@@ -158,22 +199,24 @@ class OnlineSimulator:
             )
         if capacities is None:
             capacities = self.pathset.topology.capacities
-        capacities = np.asarray(capacities, dtype=float)
 
         num_intervals = len(matrices)
-        caps_per_interval = np.broadcast_to(
-            capacities, (num_intervals, capacities.shape[0])
-        ).copy()
-        if failure_at is not None:
-            failed = np.asarray(failed_capacities, dtype=float)
-            caps_per_interval[failure_at:] = failed
+        caps_per_interval = interval_capacities(
+            capacities, num_intervals, failure_at, failed_capacities
+        )
         demands_all = self.pathset.demand_volumes_batch(
             np.stack([m.values for m in matrices])
         )
 
-        allocations = self._compute_allocations(
-            scheme, demands_all, caps_per_interval, batched
-        )
+        if allocations is None:
+            allocations = self._compute_allocations(
+                scheme, demands_all, caps_per_interval, batched
+            )
+        elif len(allocations) != num_intervals:
+            raise SimulationError(
+                f"{len(allocations)} precomputed allocations for "
+                f"{num_intervals} intervals"
+            )
         deployed_ratios, ages = self._deployment_schedule(allocations)
 
         results = OnlineRunResult(scheme=getattr(scheme, "name", "scheme"))

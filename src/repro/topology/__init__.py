@@ -18,7 +18,7 @@ from .generators import (
     swan,
     us_carrier,
 )
-from .graph import Topology
+from .graph import Topology, broadcast_capacities
 from .partition import bfs_balanced_partition, cut_edges, partition_quality
 from .stats import (
     all_pairs_hop_distances,
@@ -30,6 +30,7 @@ from .stats import (
 
 __all__ = [
     "Topology",
+    "broadcast_capacities",
     "GENERATORS",
     "PAPER_SIZES",
     "PAPER_STATS",

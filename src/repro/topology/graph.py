@@ -26,6 +26,20 @@ import numpy as np
 from ..exceptions import TopologyError
 
 
+def broadcast_capacities(capacities: np.ndarray, batch: int) -> np.ndarray:
+    """Normalize an (E,) or (T, E) capacities argument to a (T, E) stack.
+
+    The single implementation of the capacity-broadcast contract shared
+    by every batched entry point (model forward, evaluator, ADMM,
+    objectives, scheme base). A 1-D vector is broadcast read-only across
+    the batch; a 2-D stack is passed through unchanged.
+    """
+    capacities = np.asarray(capacities, dtype=float)
+    if capacities.ndim == 1:
+        capacities = np.broadcast_to(capacities, (batch, capacities.shape[0]))
+    return capacities
+
+
 class Topology:
     """A directed WAN graph with capacities and latencies.
 

@@ -75,12 +75,15 @@ class TestMaskedSoftmaxProperties:
 
 
 class TestFailureAugmentation:
-    def test_zero_rate_returns_same_array(self, b4_pathset):
+    def test_zero_rate_returns_defensive_copy(self, b4_pathset):
         caps = b4_pathset.topology.capacities
         config = TrainingConfig(failure_rate=0.0)
         rng = np.random.default_rng(0)
         out = sample_training_capacities(b4_pathset, caps, config, rng)
-        assert out is caps
+        assert out is not caps  # aliasing trainer state would be unsafe
+        assert np.array_equal(out, caps)
+        out[0] = -1.0  # mutating the result must not touch the input
+        assert caps[0] != -1.0
 
     def test_full_rate_fails_links(self, b4_pathset):
         caps = b4_pathset.topology.capacities
