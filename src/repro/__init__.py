@@ -14,6 +14,7 @@ Public API tour:
 - :mod:`repro.simulation` — feasible-flow evaluation and the online loop.
 - :mod:`repro.analysis` — t-SNE, embedding interpretation, solver scaling.
 - :mod:`repro.harness` — scenario builder used by benchmarks/examples.
+- :mod:`repro.sweep` — cross-topology scenario-grid sweep engine.
 
 Quickstart::
 
@@ -50,6 +51,7 @@ from .harness import (
 )
 from .lp import get_objective
 from .paths import PathSet
+from .sweep import GridResult, ScenarioSuite, run_scenario_grid
 from .simulation import Allocation, OnlineSimulator, evaluate_allocation
 from .topology import Topology, get_topology
 from .traffic import TrafficMatrix, TrafficTrace
@@ -97,4 +99,8 @@ __all__ = [
     "make_baselines",
     "trained_teal",
     "run_offline_comparison",
+    # sweep engine
+    "ScenarioSuite",
+    "GridResult",
+    "run_scenario_grid",
 ]

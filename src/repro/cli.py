@@ -6,6 +6,7 @@ Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
     teal-repro compare --topology SWAN    # Figure 6-style comparison
     teal-repro failures --topology B4     # Figure 8-style failure sweep
     teal-repro train --topology B4        # train + report a Teal model
+    teal-repro sweep --topologies B4 SWAN # cross-topology scenario grid
 """
 
 from __future__ import annotations
@@ -114,6 +115,46 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .config import TrainingConfig
+    from .sweep import ScenarioSuite, run_scenario_grid
+
+    training = TrainingConfig(
+        steps=args.steps,
+        warm_start_steps=args.warm_start_steps,
+        log_every=max(1, args.steps),
+    )
+    suite = ScenarioSuite(
+        topologies=tuple(args.topologies),
+        failure_counts=tuple(args.failures),
+        seeds=tuple(args.seeds),
+        schemes=tuple(args.schemes),
+        mode=args.mode,
+        train=args.train,
+        validation=args.validation,
+        test=args.matrices,
+        training=training,
+    )
+    print(
+        f"sweeping {suite.num_jobs} topology job(s), "
+        f"{suite.num_cells} grid cell(s) [{args.executor}]..."
+    )
+    result = run_scenario_grid(
+        suite, executor=args.executor, max_workers=args.workers
+    )
+    print(result.summary_table())
+    print(
+        f"\nswept {result.metadata['num_cells']} cells in "
+        f"{result.metadata['total_seconds']:.2f}s "
+        f"({result.metadata['executor']}, "
+        f"{result.metadata['max_workers']} worker(s))"
+    )
+    if args.output:
+        result.to_json(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -150,6 +191,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--steps", type=int, default=60)
     p_train.add_argument("--warm-start-steps", type=int, default=220)
     p_train.set_defaults(func=_cmd_train)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="cross-topology scenario-grid sweep"
+    )
+    p_sweep.add_argument("--topologies", nargs="+", default=["B4", "SWAN"])
+    p_sweep.add_argument(
+        "--failures", type=int, nargs="+", default=[0, 1],
+        help="simultaneous link failures per grid level",
+    )
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p_sweep.add_argument(
+        "--schemes", nargs="+", default=["LP-all", "Teal"],
+        help="baseline names plus 'Teal'",
+    )
+    p_sweep.add_argument("--mode", choices=("offline", "online"), default="offline")
+    p_sweep.add_argument("--matrices", type=int, default=4, help="test matrices")
+    p_sweep.add_argument("--train", type=int, default=8)
+    p_sweep.add_argument("--validation", type=int, default=2)
+    p_sweep.add_argument("--steps", type=int, default=20)
+    p_sweep.add_argument("--warm-start-steps", type=int, default=80)
+    p_sweep.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="process"
+    )
+    p_sweep.add_argument("--workers", type=int, default=None)
+    p_sweep.add_argument(
+        "--output", default=None, help="write the GridResult JSON here"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

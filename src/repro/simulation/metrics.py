@@ -7,6 +7,7 @@ CDFs, speedup factors, and the Table 2 computation-time breakdown.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +67,47 @@ class SchemeRun:
         if arr.size == 0:
             return arr, arr
         return arr, np.arange(1, arr.size + 1) / arr.size
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`).
+
+        Extras are kept only if every value is a JSON scalar/list — the
+        per-matrix timing components survive, scheme-internal objects
+        do not.
+        """
+        record = {
+            "scheme": self.scheme,
+            "satisfied": list(self.satisfied),
+            "compute_times": list(self.compute_times),
+            "objective_values": list(self.objective_values),
+        }
+        def _default(value):
+            if isinstance(value, np.generic):
+                return value.item()
+            if isinstance(value, np.ndarray):
+                return value.tolist()
+            raise TypeError(f"not JSON-serializable: {type(value)!r}")
+
+        try:
+            record["extras"] = json.loads(json.dumps(self.extras, default=_default))
+        except (TypeError, ValueError):
+            record["extras"] = [{} for _ in self.extras]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SchemeRun":
+        """Rebuild a run from :meth:`to_dict` output."""
+        return cls(
+            scheme=record["scheme"],
+            satisfied=[float(v) for v in record.get("satisfied", [])],
+            compute_times=[float(v) for v in record.get("compute_times", [])],
+            objective_values=[
+                float(v) for v in record.get("objective_values", [])
+            ],
+            extras=list(record.get("extras", [])) or [
+                {} for _ in record.get("satisfied", [])
+            ],
+        )
 
     def time_breakdown(self) -> dict[str, float]:
         """Mean per-component compute time (Table 2 row).

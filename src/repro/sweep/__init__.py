@@ -1,0 +1,27 @@
+"""Scenario-grid sweep engine: topology × failure × trace × scheme grids.
+
+Declare a grid as a :class:`ScenarioSuite`, run it (serially or with
+concurrent per-topology workers) via :func:`run_scenario_grid`, and get
+back a JSON-serializable :class:`GridResult` of per-cell
+:class:`~repro.simulation.metrics.SchemeRun` records.
+"""
+
+from .grid import (
+    EXECUTORS,
+    GridCell,
+    GridResult,
+    ScenarioSuite,
+    cell_seed,
+    run_scenario_grid,
+    single_topology,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "GridCell",
+    "GridResult",
+    "ScenarioSuite",
+    "cell_seed",
+    "run_scenario_grid",
+    "single_topology",
+]

@@ -1,0 +1,479 @@
+"""Cross-topology scenario-grid sweeps (topology × failure × trace × scheme).
+
+The paper's headline claim is that Teal's speedup *grows with topology
+size* (Figures 4-7): every figure sweeps a grid of topologies crossed
+with workloads. PRs 1-2 batched the failure and trace axes — a whole
+(failure level × traffic matrix) inner product runs as one vectorized
+forward per scheme — but the topology axis still required a hand-written
+loop of ``build_scenario``/``trained_teal`` calls. This module is that
+missing layer: declare the grid once as a :class:`ScenarioSuite`, and
+:func:`run_scenario_grid` builds/trains each topology through the
+harness caches, dispatches the batched inner sweep
+(:func:`repro.harness.run_failure_sweep` offline,
+:func:`repro.harness.run_online_failure_sweep` online), and runs
+independent topologies concurrently through a ``concurrent.futures``
+pool.
+
+Determinism contract: every random choice derives from the suite spec —
+scenario construction and training from the per-variant ``seed``,
+failure sampling from :func:`cell_seed` (a CRC32 of the cell
+coordinates, stable across processes, unlike Python's randomized string
+``hash``). A parallel run therefore reproduces a serial run bit for bit,
+which the test suite and ``benchmarks/bench_scenario_grid.py`` verify.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, replace
+
+from ..config import TE_INTERVAL_SECONDS, TrainingConfig
+from ..exceptions import ReproError
+from ..simulation.metrics import SchemeRun, format_comparison_table
+
+#: Executors accepted by :func:`run_scenario_grid`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def cell_seed(topology: str, seed: int, failure_count: int) -> int:
+    """Deterministic seed for one grid cell's failure sampling.
+
+    Stable across interpreter runs and worker processes (CRC32 of the
+    cell coordinates — Python's builtin string ``hash`` is randomized
+    per process and must not be used here).
+    """
+    token = f"{topology}|{seed}|{failure_count}".encode()
+    return int(zlib.crc32(token))
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """Declarative spec of a scenario grid.
+
+    The grid is the cross product ``topologies × seeds × failure_counts
+    × schemes``. Topology × seed pairs are independent *jobs* (each
+    builds a scenario and trains Teal once); within a job the failure ×
+    trace inner product runs through the batched sweep runners.
+
+    Attributes:
+        topologies: Topology names (Table 1).
+        failure_counts: Simultaneous physical-link failures per level
+            (0 = nominal capacities).
+        seeds: Master seeds — each builds an independent topology/trace
+            variant (the "trace variant" axis).
+        schemes: Scheme names; baselines from
+            :func:`repro.harness.make_baselines` plus ``"Teal"``.
+        mode: ``"offline"`` (Figure 8 style) or ``"online"`` (Figure 9
+            style, control-delay semantics).
+        objective: Objective registry name.
+        training: Teal training budget (None = the benchmark default).
+        scale: Topology size factor (None = per-topology benchmark scale).
+        max_pairs: Demand-pair budget (None = all ordered pairs).
+        train: Training matrices per scenario.
+        validation: Validation matrices per scenario.
+        test: Test matrices per scenario (the trace axis length).
+        headroom: Capacity-provisioning headroom.
+        interval_seconds: TE interval for online mode.
+        failure_at: Online mode: interval the failure strikes (None =
+            mid-trace).
+    """
+
+    topologies: tuple[str, ...]
+    failure_counts: tuple[int, ...] = (0,)
+    seeds: tuple[int, ...] = (0,)
+    schemes: tuple[str, ...] = ("LP-all", "Teal")
+    mode: str = "offline"
+    objective: str = "total_flow"
+    training: TrainingConfig | None = None
+    scale: float | None = None
+    max_pairs: int | None = 1200
+    train: int = 8
+    validation: int = 2
+    test: int = 4
+    headroom: float = 0.9
+    interval_seconds: float = TE_INTERVAL_SECONDS
+    failure_at: int | None = None
+
+    def __post_init__(self) -> None:
+        # Accept any sequence for the axes (CLI passes lists).
+        for name in ("topologies", "failure_counts", "seeds", "schemes"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        for name in ("topologies", "failure_counts", "seeds", "schemes"):
+            axis = getattr(self, name)
+            if not axis:
+                raise ReproError(f"suite axis {name!r} must be non-empty")
+            # Duplicates would yield cells with identical coordinates
+            # (and silently doubled training work).
+            if len(set(axis)) != len(axis):
+                raise ReproError(f"duplicate values in suite axis {name!r}")
+        if self.mode not in ("offline", "online"):
+            raise ReproError(f"unknown sweep mode {self.mode!r}")
+
+    @property
+    def num_jobs(self) -> int:
+        """Independent (topology, seed) work units."""
+        return len(self.topologies) * len(self.seeds)
+
+    @property
+    def num_cells(self) -> int:
+        """Total grid cells (jobs × failure levels × schemes)."""
+        return self.num_jobs * len(self.failure_counts) * len(self.schemes)
+
+    def jobs(self) -> list[tuple[str, int]]:
+        """(topology, seed) pairs in deterministic grid order."""
+        return [(t, s) for t in self.topologies for s in self.seeds]
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        record = asdict(self)
+        for name in ("topologies", "failure_counts", "seeds", "schemes"):
+            record[name] = list(record[name])
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ScenarioSuite":
+        """Rebuild a suite from :meth:`to_dict` output."""
+        record = dict(record)
+        if record.get("training") is not None:
+            record["training"] = TrainingConfig(**record["training"])
+        return cls(**record)
+
+
+@dataclass
+class GridCell:
+    """One (topology, seed, failure level, scheme) cell of a grid result."""
+
+    topology: str
+    seed: int
+    failure_count: int
+    scheme: str
+    run: SchemeRun
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def coords(self) -> tuple[str, int, int, str]:
+        """(topology, seed, failure_count, scheme) lookup key."""
+        return (self.topology, self.seed, self.failure_count, self.scheme)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "topology": self.topology,
+            "seed": self.seed,
+            "failure_count": self.failure_count,
+            "scheme": self.scheme,
+            "run": self.run.to_dict(),
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "GridCell":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(
+            topology=record["topology"],
+            seed=record["seed"],
+            failure_count=record["failure_count"],
+            scheme=record["scheme"],
+            run=SchemeRun.from_dict(record["run"]),
+            extras=dict(record.get("extras", {})),
+        )
+
+
+@dataclass
+class GridResult:
+    """Unified record of one grid sweep.
+
+    Attributes:
+        suite: The spec that produced it.
+        cells: One :class:`GridCell` per (topology, seed, failure level,
+            scheme), in deterministic grid order.
+        timings: One record per (topology, seed) job with
+            ``build_seconds`` / ``train_seconds`` / ``sweep_seconds`` and
+            instance sizes.
+        metadata: Executor, worker count, total wall-clock, cell count.
+    """
+
+    suite: ScenarioSuite
+    cells: list[GridCell]
+    timings: list[dict] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def cell(
+        self, topology: str, seed: int, failure_count: int, scheme: str
+    ) -> GridCell:
+        """Look one cell up by its grid coordinates.
+
+        Raises:
+            ReproError: If no such cell exists.
+        """
+        coords = (topology, seed, failure_count, scheme)
+        for cell in self.cells:
+            if cell.coords == coords:
+                return cell
+        raise ReproError(f"no grid cell at {coords!r}")
+
+    def runs(
+        self, topology: str, seed: int, failure_count: int
+    ) -> dict[str, SchemeRun]:
+        """Scheme -> run mapping of one (topology, seed, failure) slice.
+
+        The same shape :func:`repro.harness.run_offline_comparison`
+        returns, so downstream metric helpers apply unchanged.
+        """
+        return {
+            cell.scheme: cell.run
+            for cell in self.cells
+            if (cell.topology, cell.seed, cell.failure_count)
+            == (topology, seed, failure_count)
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "suite": self.suite.to_dict(),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "timings": list(self.timings),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "GridResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            suite=ScenarioSuite.from_dict(record["suite"]),
+            cells=[GridCell.from_dict(c) for c in record["cells"]],
+            timings=list(record.get("timings", [])),
+            metadata=dict(record.get("metadata", {})),
+        )
+
+    def to_json(self, path: str | os.PathLike) -> None:
+        """Write the result as an indented JSON file."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str | os.PathLike) -> "GridResult":
+        """Load a result written by :meth:`to_json`."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def summary_table(self) -> str:
+        """Paper-style text table, one comparison block per grid slice."""
+        blocks: list[str] = []
+        for topology, seed in self.suite.jobs():
+            for count in self.suite.failure_counts:
+                runs = self.runs(topology, seed, count)
+                header = (
+                    f"[{topology} seed={seed} failures={count} "
+                    f"mode={self.suite.mode}]"
+                )
+                blocks.append(
+                    header + "\n" + format_comparison_table(list(runs.values()))
+                )
+        return "\n\n".join(blocks)
+
+
+def _online_to_scheme_run(name: str, result) -> tuple[SchemeRun, dict]:
+    """Flatten an OnlineRunResult into the unified per-cell SchemeRun."""
+    run = SchemeRun(scheme=name)
+    for record in result.intervals:
+        run.add(
+            satisfied=record.satisfied_fraction,
+            compute_time=record.compute_time,
+            extras={
+                "allocation_age": int(record.allocation_age),
+                "stale": bool(record.stale),
+            },
+        )
+    return run, {"stale_fraction": result.stale_fraction}
+
+
+def _run_topology_job(
+    suite: ScenarioSuite, topology: str, seed: int
+) -> tuple[list[GridCell], dict]:
+    """Build, train, and sweep one (topology, seed) grid job.
+
+    Module-level (not a closure) so process-pool workers can import it;
+    all inputs/outputs are picklable dataclasses.
+    """
+    from .. import harness
+    from ..lp.objectives import get_objective
+    from ..topology.failures import sample_link_failures
+
+    objective = get_objective(suite.objective)
+
+    start = time.perf_counter()
+    scenario = harness.build_scenario(
+        topology,
+        scale=suite.scale,
+        seed=seed,
+        max_pairs=suite.max_pairs,
+        train=suite.train,
+        validation=suite.validation,
+        test=suite.test,
+        headroom=suite.headroom,
+    )
+    build_seconds = time.perf_counter() - start
+
+    baseline_names = tuple(n for n in suite.schemes if n != "Teal")
+    schemes: dict[str, object] = {}
+    if baseline_names:
+        schemes.update(
+            harness.make_baselines(
+                scenario, objective=objective, include=baseline_names
+            )
+        )
+    train_seconds = 0.0
+    if "Teal" in suite.schemes:
+        start = time.perf_counter()
+        schemes["Teal"] = harness.trained_teal(
+            scenario,
+            objective_name=suite.objective,
+            config=suite.training,
+            seed=seed,
+        )
+        train_seconds = time.perf_counter() - start
+    schemes = {name: schemes[name] for name in suite.schemes}
+
+    capacity_sets: dict[int, object] = {}
+    failed_edges: dict[int, list[int]] = {}
+    for count in suite.failure_counts:
+        caps = scenario.capacities.copy()
+        edges: list[int] = []
+        if count:
+            edges = sample_link_failures(
+                scenario.topology, count, seed=cell_seed(topology, seed, count)
+            )
+            caps[edges] = 0.0
+        capacity_sets[count] = caps
+        failed_edges[count] = [int(e) for e in edges]
+
+    start = time.perf_counter()
+    cells: list[GridCell] = []
+    if suite.mode == "offline":
+        sweep = harness.run_failure_sweep(
+            scenario, schemes, capacity_sets, objective=objective
+        )
+        for count in suite.failure_counts:
+            for name in suite.schemes:
+                cells.append(
+                    GridCell(
+                        topology=topology,
+                        seed=seed,
+                        failure_count=count,
+                        scheme=name,
+                        run=sweep[count][name],
+                        extras={"failed_edges": failed_edges[count]},
+                    )
+                )
+    else:
+        failure_at = suite.failure_at
+        if failure_at is None:
+            failure_at = len(scenario.split.test) // 2
+        failure_cases = {
+            count: (
+                (failure_at, capacity_sets[count]) if count else (None, None)
+            )
+            for count in suite.failure_counts
+        }
+        sweep = harness.run_online_failure_sweep(
+            scenario, schemes, suite.interval_seconds, failure_cases
+        )
+        for count in suite.failure_counts:
+            for name in suite.schemes:
+                run, extras = _online_to_scheme_run(name, sweep[count][name])
+                extras["failed_edges"] = failed_edges[count]
+                cells.append(
+                    GridCell(
+                        topology=topology,
+                        seed=seed,
+                        failure_count=count,
+                        scheme=name,
+                        run=run,
+                        extras=extras,
+                    )
+                )
+    sweep_seconds = time.perf_counter() - start
+
+    timing = {
+        "topology": topology,
+        "seed": seed,
+        "num_nodes": int(scenario.topology.num_nodes),
+        "num_edges": int(scenario.topology.num_edges),
+        "num_demands": int(scenario.pathset.num_demands),
+        "build_seconds": build_seconds,
+        "train_seconds": train_seconds,
+        "sweep_seconds": sweep_seconds,
+    }
+    return cells, timing
+
+
+def run_scenario_grid(
+    suite: ScenarioSuite,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> GridResult:
+    """Run a scenario grid, optionally with concurrent topology workers.
+
+    (topology, seed) jobs are independent — they share no mutable state
+    beyond the harness caches, which the full-config cache keys keep
+    collision-free — so they dispatch to a ``concurrent.futures`` pool.
+    Results are collected in submission order, so the returned cells are
+    in deterministic grid order regardless of completion order, and
+    every job's randomness is seeded from the spec (see the module
+    docstring), so ``executor="process"``/``"thread"`` reproduce
+    ``"serial"`` bit for bit.
+
+    Args:
+        suite: The grid spec.
+        executor: ``"serial"``, ``"thread"``, or ``"process"``.
+        max_workers: Pool width (default: one per job, capped at the
+            CPU count).
+
+    Returns:
+        A :class:`GridResult`.
+
+    Raises:
+        ReproError: On an unknown executor name.
+    """
+    if executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    jobs = suite.jobs()
+    start = time.perf_counter()
+    if executor == "serial":
+        outputs = [_run_topology_job(suite, t, s) for t, s in jobs]
+        workers = 1
+    else:
+        pool_cls = (
+            ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        )
+        workers = max_workers or min(len(jobs), os.cpu_count() or 1)
+        with pool_cls(max_workers=workers) as pool:
+            futures = [pool.submit(_run_topology_job, suite, t, s) for t, s in jobs]
+            outputs = [future.result() for future in futures]
+    total_seconds = time.perf_counter() - start
+
+    cells = [cell for job_cells, _ in outputs for cell in job_cells]
+    timings = [timing for _, timing in outputs]
+    metadata = {
+        "executor": executor,
+        "max_workers": workers,
+        "num_jobs": len(jobs),
+        "num_cells": len(cells),
+        "total_seconds": total_seconds,
+    }
+    return GridResult(suite=suite, cells=cells, timings=timings, metadata=metadata)
+
+
+def single_topology(suite: ScenarioSuite, topology: str) -> ScenarioSuite:
+    """A copy of ``suite`` restricted to one topology (ad-hoc reruns)."""
+    if topology not in suite.topologies:
+        raise ReproError(f"{topology!r} not in suite topologies")
+    return replace(suite, topologies=(topology,))

@@ -30,6 +30,32 @@ class TestParser:
         )
         assert args.counts == [0, 1, 2]
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.topologies == ["B4", "SWAN"]
+        assert args.failures == [0, 1]
+        assert args.executor == "process"
+        assert args.output is None
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--topologies", "B4", "UsCarrier",
+                "--failures", "0", "2",
+                "--seeds", "0", "1",
+                "--mode", "online",
+                "--executor", "thread",
+                "--output", "grid.json",
+            ]
+        )
+        assert args.topologies == ["B4", "UsCarrier"]
+        assert args.failures == [0, 2]
+        assert args.seeds == [0, 1]
+        assert args.mode == "online"
+        assert args.executor == "thread"
+        assert args.output == "grid.json"
+
 
 class TestCommands:
     def test_topologies_runs(self, capsys):
@@ -46,6 +72,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Teal" in out
         assert "LP-all" in out
+
+    def test_sweep_runs_small(self, capsys, tmp_path):
+        output = tmp_path / "grid.json"
+        code = main(
+            [
+                "sweep",
+                "--topologies", "B4",
+                "--failures", "0", "1",
+                "--matrices", "2",
+                "--train", "4",
+                "--validation", "1",
+                "--steps", "2",
+                "--warm-start-steps", "6",
+                "--executor", "serial",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failures=1" in out
+        assert "Teal" in out
+        from repro.sweep import GridResult
+
+        result = GridResult.from_json(output)
+        assert result.metadata["num_cells"] == 4
 
     def test_train_runs_small(self, capsys):
         code = main(

@@ -2,18 +2,25 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
-from repro.config import TrainingConfig
+from repro.config import POP_REPLICAS, TrainingConfig
 from repro.exceptions import ReproError
 from repro.harness import (
+    BENCH_POP_REPLICA_CAP,
+    BENCH_POP_REPLICAS,
     BENCH_SCALES,
     Scenario,
+    bench_pop_replicas,
     build_scenario,
     clear_caches,
     make_baselines,
+    run_failure_sweep,
     run_offline_comparison,
+    run_online_failure_sweep,
     trained_teal,
 )
 
@@ -61,6 +68,40 @@ class TestBuildScenario:
         demands = b4_scenario.demands(b4_scenario.split.train[0])
         assert demands.shape == (b4_scenario.pathset.num_demands,)
 
+    def test_provisioning_uses_train_split_only(self):
+        """§5.1: held-out test matrices must not leak into provisioning.
+
+        The traffic generator is prefix-stable, so growing only the test
+        split leaves the train matrices unchanged — capacities must not
+        move either.
+        """
+        a = build_scenario("B4", train=6, validation=2, test=2, use_cache=False)
+        b = build_scenario("B4", train=6, validation=2, test=6, use_cache=False)
+        np.testing.assert_allclose(a.capacities, b.capacities)
+        c = build_scenario("B4", train=4, validation=2, test=2, use_cache=False)
+        assert not np.allclose(a.capacities, c.capacities)
+
+
+class TestBenchPopReplicas:
+    def test_derived_from_config_table(self):
+        """One source of truth: the §5.1 table clamped to the bench cap."""
+        assert BENCH_POP_REPLICAS == {
+            name: min(replicas, BENCH_POP_REPLICA_CAP)
+            for name, replicas in POP_REPLICAS.items()
+        }
+
+    def test_small_topologies_keep_paper_counts(self):
+        assert bench_pop_replicas("B4") == POP_REPLICAS["B4"]
+        assert bench_pop_replicas("SWAN") == POP_REPLICAS["SWAN"]
+        assert bench_pop_replicas("UsCarrier") == POP_REPLICAS["UsCarrier"]
+
+    def test_large_topologies_clamped(self):
+        assert bench_pop_replicas("Kdl") == BENCH_POP_REPLICA_CAP
+        assert bench_pop_replicas("ASN") == BENCH_POP_REPLICA_CAP
+
+    def test_unknown_topology_default(self):
+        assert bench_pop_replicas("Mystery") == 4
+
 
 class TestMakeBaselines:
     def test_default_set(self, b4_scenario):
@@ -84,6 +125,56 @@ class TestTrainedTeal:
         assert a is b
         assert a.trained
 
+    def test_cache_distinguishes_every_config_field(self, b4_scenario):
+        """Regression: the cache once keyed only on (steps, warm_start_steps).
+
+        A model trained with failure augmentation was silently returned
+        for a no-augmentation request (and vice versa); every
+        TrainingConfig field must produce a distinct cache entry.
+        """
+        base = TrainingConfig(steps=4, warm_start_steps=10, log_every=10)
+        cached = trained_teal(b4_scenario, config=base)
+        for changed in (
+            dataclasses.replace(base, failure_rate=0.25),
+            dataclasses.replace(base, batch_matrices=2),
+            dataclasses.replace(base, batch_demands=16),
+            dataclasses.replace(base, seed=7),
+            dataclasses.replace(base, max_training_failures=1),
+        ):
+            assert trained_teal(b4_scenario, config=changed) is not cached, (
+                f"cache collision for {changed}"
+            )
+        assert trained_teal(b4_scenario, config=base) is cached
+
+    def test_cache_distinguishes_scenario_build_params(self):
+        """Scenarios sharing (name, seed, num_demands) but built with
+        different splits/headroom must not share a trained model."""
+        config = TrainingConfig(steps=2, warm_start_steps=4, log_every=10)
+        a = build_scenario("B4", train=4, validation=1, test=2)
+        b = build_scenario("B4", train=6, validation=1, test=2)
+        assert a.pathset.num_demands == b.pathset.num_demands
+        teal_a = trained_teal(a, config=config)
+        teal_b = trained_teal(b, config=config)
+        assert teal_a is not teal_b
+        assert trained_teal(a, config=config) is teal_a
+
+    def test_cache_distinguishes_admm_config(self, b4_scenario):
+        from repro.config import AdmmConfig
+
+        config = TrainingConfig(steps=4, warm_start_steps=10, log_every=10)
+        default = trained_teal(b4_scenario, config=config)
+        other = trained_teal(
+            b4_scenario, config=config, admm=AdmmConfig(iterations=3)
+        )
+        assert other is not default
+        assert other.admm.config.iterations == 3
+        # The default admm kwarg is resolved before keying, so an explicit
+        # request for the same resolved config hits the cache.
+        explicit = trained_teal(
+            b4_scenario, config=config, admm=AdmmConfig(iterations=12)
+        )
+        assert explicit is default
+
     def test_runs_comparison(self, b4_scenario):
         config = TrainingConfig(steps=4, warm_start_steps=20, log_every=4)
         teal = trained_teal(b4_scenario, config=config)
@@ -106,3 +197,40 @@ class TestTrainedTeal:
         )
         best = max(run.mean_satisfied for run in runs.values())
         assert runs["LP-all"].mean_satisfied >= best - 1e-6
+
+
+class TestSweepEmptyContracts:
+    """Both sweep runners share one empty-input contract (no raising)."""
+
+    def test_offline_empty_levels(self, b4_scenario):
+        schemes = make_baselines(b4_scenario, include=("LP-all",))
+        assert run_failure_sweep(b4_scenario, schemes, {}) == {}
+
+    def test_offline_empty_matrices(self, b4_scenario):
+        schemes = make_baselines(b4_scenario, include=("LP-all",))
+        caps = {0: b4_scenario.capacities}
+        result = run_failure_sweep(b4_scenario, schemes, caps, matrices=[])
+        assert set(result) == {0}
+        assert result[0]["LP-all"].satisfied == []
+
+    def test_online_empty_cases(self, b4_scenario):
+        schemes = make_baselines(b4_scenario, include=("LP-all",))
+        assert (
+            run_online_failure_sweep(
+                b4_scenario, schemes, interval_seconds=1.0, failure_cases={}
+            )
+            == {}
+        )
+
+    def test_online_empty_matrices(self, b4_scenario):
+        schemes = make_baselines(b4_scenario, include=("LP-all",))
+        result = run_online_failure_sweep(
+            b4_scenario,
+            schemes,
+            interval_seconds=1.0,
+            failure_cases={"none": (None, None)},
+            matrices=[],
+        )
+        assert set(result) == {"none"}
+        assert result["none"]["LP-all"].intervals == []
+        assert result["none"]["LP-all"].mean_satisfied == 0.0

@@ -45,13 +45,20 @@ class TestHeadlineShapes:
         best = max(r.mean_satisfied for r in results.values())
         assert results["LP-all"].mean_satisfied >= best - 1e-9
 
-    def test_teal_beats_decomposition_baselines(self, runs):
+    def test_teal_beats_decomposition_baselines(self, runs, scenario):
         results, _ = runs
         assert results["Teal"].mean_satisfied >= results["NCFlow"].mean_satisfied
-        assert (
-            results["Teal"].mean_satisfied
-            >= results["POP"].mean_satisfied - 0.05
-        )
+        # The harness POP follows the §5.1 replica table, which gives SWAN
+        # a single replica — no decomposition, exactly LP-all. Build a POP
+        # that actually decomposes for this shape check.
+        from repro.baselines import Pop
+
+        pop = run_offline_comparison(
+            scenario,
+            {"POP-2": Pop(num_replicas=2, seed=scenario.seed)},
+            matrices=scenario.split.test[:3],
+        )["POP-2"]
+        assert results["Teal"].mean_satisfied >= pop.mean_satisfied - 0.05
 
     def test_teal_faster_than_lp_schemes(self, runs):
         results, _ = runs
