@@ -43,10 +43,15 @@ SUITE = ScenarioSuite(
     seeds=(0,),
     schemes=("LP-all", "Teal"),
     max_pairs=400,
-    train=6,
+    train=8,
     validation=2,
     test=4,
-    training=TrainingConfig(steps=10, warm_start_steps=40, log_every=50),
+    # The budget exploits the minibatch axis: 4 matrices per gradient
+    # step (one batched forward/backward each) instead of 1, so the same
+    # step count sees 4x the traffic diversity at near-loop cost.
+    training=TrainingConfig(
+        steps=10, warm_start_steps=40, log_every=50, batch_matrices=4
+    ),
 )
 
 _RECORD_PATH = os.path.join(

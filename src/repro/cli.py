@@ -48,7 +48,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     schemes = dict(make_baselines(scenario))
     print("training Teal...")
-    schemes["Teal"] = trained_teal(scenario)
+    schemes["Teal"] = trained_teal(scenario, precision=args.precision)
     runs = run_offline_comparison(
         scenario, schemes, matrices=scenario.split.test[: args.matrices]
     )
@@ -68,7 +68,7 @@ def _cmd_failures(args: argparse.Namespace) -> int:
     scenario = build_scenario(args.topology, scale=args.scale, seed=args.seed)
     schemes = dict(make_baselines(scenario))
     print("training Teal...")
-    schemes["Teal"] = trained_teal(scenario)
+    schemes["Teal"] = trained_teal(scenario, precision=args.precision)
 
     print(f"{'failures':>9} | " + " | ".join(f"{n:>8}" for n in schemes))
     for count in args.counts:
@@ -99,7 +99,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         warm_start_steps=args.warm_start_steps,
         log_every=max(1, args.steps // 4),
     )
-    teal = trained_teal(scenario, config=config, use_cache=False)
+    teal = trained_teal(
+        scenario, config=config, use_cache=False, precision=args.precision
+    )
     demands = scenario.demands(scenario.split.test[0])
     allocation = teal.allocate(scenario.pathset, demands)
     from .simulation import evaluate_allocation
@@ -130,6 +132,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         schemes=tuple(args.schemes),
         mode=args.mode,
+        precision=args.precision,
         train=args.train,
         validation=args.validation,
         test=args.matrices,
@@ -163,6 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_precision(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--precision",
+            choices=("float32", "float64"),
+            default="float32",
+            help="Teal inference precision (training always runs float64; "
+            "float32 matches float64 results within 1e-4 relative and is "
+            "measurably faster — see README 'Precision & performance')",
+        )
+
     p_topo = sub.add_parser("topologies", help="print Table 1 / Table 3 rows")
     p_topo.add_argument("--scale", type=float, default=1.0)
     p_topo.set_defaults(func=_cmd_topologies)
@@ -172,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--scale", type=float, default=None)
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--matrices", type=int, default=4)
+    add_precision(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_fail = sub.add_parser("failures", help="link-failure sweep")
@@ -182,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fail.add_argument(
         "--counts", type=int, nargs="+", default=[0, 1, 2]
     )
+    add_precision(p_fail)
     p_fail.set_defaults(func=_cmd_failures)
 
     p_train = sub.add_parser("train", help="train a Teal model")
@@ -190,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument("--steps", type=int, default=60)
     p_train.add_argument("--warm-start-steps", type=int, default=220)
+    add_precision(p_train)
     p_train.set_defaults(func=_cmd_train)
 
     p_sweep = sub.add_parser(
@@ -218,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--output", default=None, help="write the GridResult JSON here"
     )
+    add_precision(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 

@@ -2,7 +2,7 @@
 
 from .ablations import GlobalPolicyModel, NaiveDnnModel, NaiveGnnModel
 from .admm import AdmmFineTuner
-from .batching import SegmentOps
+from .batching import SegmentOps, Workspace
 from .checkpoint import load_model, save_model, transfer_weights
 from .coma import ComaTrainer, DecomposableReward, TrainingHistory, masked_softmax_np
 from .direct_loss import (
@@ -40,6 +40,7 @@ __all__ = [
     "model_path_flows",
     "model_path_flows_batch",
     "SegmentOps",
+    "Workspace",
     "AdmmFineTuner",
     "TealScheme",
     "NaiveDnnModel",

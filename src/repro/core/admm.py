@@ -42,9 +42,19 @@ import numpy as np
 
 from ..config import AdmmConfig
 from ..exceptions import ModelError
+from ..nn.precision import Precision, resolve_precision
 from ..paths.pathset import PathSet
 from ..topology.graph import broadcast_capacities
-from .batching import SegmentOps
+from .batching import (
+    SegmentOps,
+    Workspace,
+    admm_dual_step_,
+    admm_f_rhs_into,
+    admm_f_solve_into,
+    admm_slack_into,
+    admm_z_rhs_into,
+    admm_z_solve_into,
+)
 
 _EPS = 1e-9
 
@@ -102,6 +112,12 @@ class AdmmFineTuner:
             the paper's 2 (<100 nodes) or 5 iterations automatically.
         path_values: Optional per-path per-unit-flow objective weights
             (1 for total flow; the delay-penalized weights otherwise).
+        precision: Storage dtype of the F/z/s/dual iterates (default
+            float64). Segment sums always *accumulate* in float64
+            (``np.bincount``) and the deployment acceptance check scores
+            candidates through the float64 evaluator, so float32 storage
+            perturbs the iterates but not the accept/reject decisions —
+            see :mod:`repro.nn.precision`.
     """
 
     def __init__(
@@ -109,9 +125,11 @@ class AdmmFineTuner:
         pathset: PathSet,
         config: AdmmConfig | None = None,
         path_values: np.ndarray | None = None,
+        precision: Precision | str | None = None,
     ) -> None:
         self.pathset = pathset
         self.config = config if config is not None else AdmmConfig()
+        self.precision = resolve_precision(precision)
         self.structures = _build_structures(pathset)
         if path_values is None:
             path_values = np.ones(pathset.num_paths)
@@ -129,6 +147,24 @@ class AdmmFineTuner:
         self._pair_to_path = SegmentOps(s.pair_path, s.num_paths)
         self._pair_to_edge = SegmentOps(s.pair_edge, s.num_edges)
         self._path_to_demand = SegmentOps(s.path_demand, s.num_demands)
+        # Preallocated buffers of the fused update loop (keyed by batch
+        # shape and dtype, so a sweep of equal-sized stacks never
+        # re-allocates) and per-dtype casts of the static structures.
+        self._workspace = Workspace()
+        self._static_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def _static_arrays(
+        self, dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(path_values, 1 + paths_per_edge) cast to ``dtype``."""
+        cached = self._static_cache.get(dtype.name)
+        if cached is None:
+            cached = (
+                self.path_values.astype(dtype, copy=False),
+                (1.0 + self.structures.paths_per_edge).astype(dtype, copy=False),
+            )
+            self._static_cache[dtype.name] = cached
+        return cached
 
     def fine_tune(
         self,
@@ -148,116 +184,17 @@ class AdmmFineTuner:
         Returns:
             (D, k) fine-tuned split ratios (clipped to the simplex box).
         """
-        s = self.structures
-        demands = np.asarray(demands, dtype=float)
-        if capacities is None:
-            capacities = self.pathset.topology.capacities
-        capacities = np.asarray(capacities, dtype=float)
-        iters = self.iterations if iterations is None else int(iterations)
-        if iters <= 0:
-            return _project_ratios(np.asarray(split_ratios, dtype=float))
-
-        # Normalize volumes so rho is scale-free.
-        scale = max(float(capacities[capacities > 0].mean()) if (capacities > 0).any() else 1.0, _EPS)
-        d_norm = demands / scale
-        c_norm = capacities / scale
-        rho = self.config.rho
-
-        d_p = d_norm[s.path_demand]  # (P,) demand volume per path
-        w_p = self.path_values
-        a = np.maximum(d_p * d_p * s.hops, _EPS)  # (P,) diagonal of F-system
-
-        # Warm start (Appendix C: iterates warm-started by the policy).
-        F = np.clip(np.asarray(split_ratios, dtype=float), 0.0, 1.0)
-        F_flat = np.zeros(s.num_paths)
-        valid = self.pathset.path_mask
-        F_flat[self.pathset.demand_path_ids[valid]] = F[valid]
-        z = (F_flat * d_p)[s.pair_path]  # z_pe = F_p * d_p
-        sum_z = np.bincount(s.pair_edge, weights=z, minlength=s.num_edges)
-        s1 = np.maximum(
-            0.0,
-            1.0 - np.bincount(s.path_demand, weights=F_flat, minlength=s.num_demands),
-        )
-        s3 = np.maximum(0.0, c_norm - sum_z)
-        # Dual warm start via complementary slackness: lam1_d estimates the
-        # marginal value of demand d's constraint. Saturated edges carry a
-        # unit congestion price; a demand's marginal value is its best
-        # path's value net of congestion prices. Demands whose every path
-        # crosses saturated links get lam1 ~ 0, freeing the F-update to
-        # *reduce* their over-allocation (the behaviour softmax outputs
-        # need most), while uncongested demands keep the stationarity
-        # pressure that preserves good warm starts.
-        with np.errstate(divide="ignore", invalid="ignore"):
-            warm_util = np.where(
-                c_norm > 0,
-                sum_z / np.maximum(c_norm, _EPS),
-                np.where(sum_z > _EPS, np.inf, 0.0),
-            )
-        congestion_price = (warm_util > 1.0).astype(float)
-        path_price = np.bincount(
-            s.pair_path, weights=congestion_price[s.pair_edge], minlength=s.num_paths
-        )
-        reduced_value = np.maximum(0.0, self.path_values - path_price)
-        best_reduced = np.zeros(s.num_demands)
-        np.maximum.at(best_reduced, s.path_demand, reduced_value)
-        demand_volume = np.zeros(s.num_demands)
-        np.maximum.at(demand_volume, s.path_demand, d_p)
-        lam1 = demand_volume * best_reduced
-        lam3 = np.zeros(s.num_edges)
-        lam4 = np.zeros(len(s.pair_path))
-
-        for _ in range(iters):
-            # ---- F-update: per-demand rank-1 + diagonal system ---------
-            lam4_per_path = np.bincount(
-                s.pair_path, weights=lam4, minlength=s.num_paths
-            )
-            z_per_path = np.bincount(s.pair_path, weights=z, minlength=s.num_paths)
-            b = (
-                d_p * w_p
-                - lam1[s.path_demand]
-                - d_p * lam4_per_path
-                + rho * (1.0 - s1[s.path_demand])
-                + rho * d_p * z_per_path
-            )
-            inv_a = 1.0 / a
-            sum_b_over_a = np.bincount(
-                s.path_demand, weights=b * inv_a, minlength=s.num_demands
-            )
-            sum_inv_a = np.bincount(
-                s.path_demand, weights=inv_a, minlength=s.num_demands
-            )
-            correction = sum_b_over_a / (1.0 + sum_inv_a)
-            F_flat = (inv_a / rho) * (b - correction[s.path_demand])
-            F_flat = np.clip(F_flat, 0.0, 1.0)
-
-            # ---- z-update: per-edge rank-1 + identity system ------------
-            beta = (
-                -lam3[s.pair_edge]
-                + lam4
-                + rho * (c_norm - s3)[s.pair_edge]
-                + rho * (F_flat * d_p)[s.pair_path]
-            )
-            sum_beta = np.bincount(
-                s.pair_edge, weights=beta, minlength=s.num_edges
-            )
-            z = (beta - (sum_beta / (1.0 + s.paths_per_edge))[s.pair_edge]) / rho
-
-            # ---- s-updates (non-negative slacks) -------------------------
-            sum_F = np.bincount(
-                s.path_demand, weights=F_flat, minlength=s.num_demands
-            )
-            sum_z = np.bincount(s.pair_edge, weights=z, minlength=s.num_edges)
-            s1 = np.maximum(0.0, (1.0 - sum_F) - lam1 / rho)
-            s3 = np.maximum(0.0, (c_norm - sum_z) - lam3 / rho)
-
-            # ---- dual updates -------------------------------------------
-            lam1 += rho * (sum_F + s1 - 1.0)
-            lam3 += rho * (sum_z + s3 - c_norm)
-            lam4 += rho * ((F_flat * d_p)[s.pair_path] - z)
-
-        ratios = np.zeros_like(F)
-        ratios[valid] = F_flat[self.pathset.demand_path_ids[valid]]
-        return _project_ratios(ratios)
+        # One code path for both shapes: the batched fine-tuner with T=1
+        # reproduces the historical per-TM loop bit for bit (the tiled
+        # segment primitives accumulate in the same order), so the
+        # single-TM entry point simply runs the stack of one.
+        ratios = np.asarray(split_ratios)
+        demands = np.asarray(demands)
+        if capacities is not None:
+            capacities = np.asarray(capacities)[None, :]
+        return self.fine_tune_batch(
+            ratios[None, ...], demands[None, :], capacities, iterations
+        )[0]
 
     def fine_tune_batch(
         self,
@@ -287,100 +224,156 @@ class AdmmFineTuner:
             (T, D, k) fine-tuned split ratios.
         """
         s = self.structures
-        split_ratios = np.asarray(split_ratios, dtype=float)
-        demands = np.asarray(demands, dtype=float)
+        dtype = self.precision.dtype
+        split_ratios = np.asarray(split_ratios, dtype=dtype)
+        demands = np.asarray(demands, dtype=dtype)
         num_matrices = demands.shape[0]
         if capacities is None:
             capacities = self.pathset.topology.capacities
-        capacities = broadcast_capacities(capacities, num_matrices)
+        capacities = np.asarray(
+            broadcast_capacities(capacities, num_matrices), dtype=dtype
+        )
         iters = self.iterations if iterations is None else int(iterations)
         if iters <= 0 or num_matrices == 0:
             return _project_ratios(split_ratios)
 
+        # The F-block's Sherman-Morrison solve always runs in the
+        # accumulation dtype (float64): its 1/max(d^2 * hops, eps)
+        # diagonal reaches ~1e5 for small demands, so float32 rounding of
+        # the cancellation-heavy right-hand side would be amplified into
+        # ~1e-4 allocation drift (measured on UsCarrier). With the solve
+        # in float64 and the z/s/dual iterates stored single precision,
+        # float32 tracks float64 within ~1e-6 delivered flow.
+        solve = self.precision.accumulate_dtype
+        mixed = dtype != solve
+        w_p, one_plus_ppe = self._static_arrays(dtype)
+        ws = self._workspace
+        num_pairs = len(s.pair_path)
+        shape_tp = (num_matrices, s.num_paths)
+        shape_ti = (num_matrices, num_pairs)
+        shape_te = (num_matrices, s.num_edges)
+        shape_td = (num_matrices, s.num_demands)
+
         # Per-matrix scale normalization (rho stays scale-free per TM),
-        # computed row by row with the same compacted mean as fine_tune —
-        # a masked whole-row sum can differ in the last ulp, which would
-        # break the bit-for-bit parity with the per-TM loop.
+        # computed row by row with the same compacted mean as the
+        # historical per-TM loop — a masked whole-row sum can differ in
+        # the last ulp, which would break bit-for-bit parity.
         pos_mean = np.array(
             [
                 float(row[row > 0].mean()) if (row > 0).any() else 1.0
                 for row in capacities
             ]
         )
-        scale = np.maximum(pos_mean, _EPS)[:, None]  # (T, 1)
+        scale = np.maximum(pos_mean, _EPS).astype(dtype)[:, None]  # (T, 1)
         d_norm = demands / scale
         c_norm = capacities / scale
         rho = self.config.rho
 
         d_p = d_norm[:, s.path_demand]  # (T, P)
-        w_p = self.path_values  # (P,) shared across the stack
-        a = np.maximum(d_p * d_p * s.hops, _EPS)
+        d_p_solve = d_p.astype(solve) if mixed else d_p
+        w_p_solve = self.path_values  # float64 master
+        a = np.maximum(d_p_solve * d_p_solve * s.hops, _EPS)
+        # Loop invariants of the F-solve, hoisted (identical values).
+        inv_a = 1.0 / a
+        inv_a_over_rho = inv_a / rho
+        correction_denom = 1.0 + self._path_to_demand.sum(inv_a)
 
         # Warm start (primal), stacked.
         F = np.clip(split_ratios, 0.0, 1.0)
-        F_flat = np.zeros((num_matrices, s.num_paths))
+        F_flat = np.zeros(shape_tp, dtype=dtype)
         valid = self.pathset.path_mask
         F_flat[:, self.pathset.demand_path_ids[valid]] = F[:, valid]
-        z = (F_flat * d_p)[:, s.pair_path]  # (T, I)
-        sum_z = self._pair_to_edge.sum(z)
-        s1 = np.maximum(0.0, 1.0 - self._path_to_demand.sum(F_flat))
+        z = ws.buffer("z", shape_ti, dtype)
+        flow_pairs = ws.buffer("flow_pairs", shape_ti, dtype)  # (F*d) gathers
+        tp_buf = ws.buffer("tp", shape_tp, dtype)  # per-path scratch
+        np.multiply(F_flat, d_p, out=tp_buf)
+        np.take(tp_buf, s.pair_path, axis=1, out=z)  # z_pe = F_p * d_p
+        sum_z = self._pair_to_edge.sum(z, dtype=dtype)
+        s1 = np.maximum(0.0, 1.0 - self._path_to_demand.sum(F_flat, dtype=dtype))
         s3 = np.maximum(0.0, c_norm - sum_z)
-        # Dual warm start via complementary slackness (see fine_tune).
+        # Dual warm start via complementary slackness: lam1_d estimates
+        # the marginal value of demand d's constraint. Saturated edges
+        # carry a unit congestion price; a demand's marginal value is its
+        # best path's value net of congestion prices. Demands whose every
+        # path crosses saturated links get lam1 ~ 0, freeing the F-update
+        # to *reduce* their over-allocation (the behaviour softmax
+        # outputs need most), while uncongested demands keep the
+        # stationarity pressure that preserves good warm starts.
         with np.errstate(divide="ignore", invalid="ignore"):
             warm_util = np.where(
                 c_norm > 0,
                 sum_z / np.maximum(c_norm, _EPS),
                 np.where(sum_z > _EPS, np.inf, 0.0),
             )
-        congestion_price = (warm_util > 1.0).astype(float)
-        path_price = self._pair_to_path.sum(congestion_price[:, s.pair_edge])
+        congestion_price = (warm_util > 1.0).astype(dtype)
+        path_price = self._pair_to_path.sum(
+            congestion_price[:, s.pair_edge], dtype=dtype
+        )
         reduced_value = np.maximum(0.0, w_p - path_price)
         best_reduced = self._path_to_demand.max(reduced_value)
         demand_volume = self._path_to_demand.max(d_p)
         lam1 = demand_volume * best_reduced
-        lam3 = np.zeros((num_matrices, s.num_edges))
-        lam4 = np.zeros((num_matrices, len(s.pair_path)))
+        lam3 = np.zeros(shape_te, dtype=dtype)
+        lam4 = np.zeros(shape_ti, dtype=dtype)
+
+        # Per-iteration scratch (preallocated; see core.batching). The
+        # F-solve buffers live in the accumulation dtype.
+        b = ws.buffer("b", shape_tp, solve)
+        tp_solve = ws.buffer("tp_solve", shape_tp, solve)
+        gather_p = ws.buffer("gather_p", shape_tp, dtype)
+        f_solve = ws.buffer("f_solve", shape_tp, solve) if mixed else F_flat
+        tp_scratch = ws.buffer("tp_scratch", shape_tp, dtype)
+        beta = ws.buffer("beta", shape_ti, dtype)
+        ti_buf = ws.buffer("ti", shape_ti, dtype)
+        te_buf = ws.buffer("te", shape_te, dtype)
+        td_buf = ws.buffer("td", shape_td, dtype)
 
         for _ in range(iters):
             # ---- F-update: per-demand rank-1 + diagonal system ---------
+            # Segment sums come out of bincount in float64 — exactly the
+            # accumulation dtype the solve wants.
             lam4_per_path = self._pair_to_path.sum(lam4)
             z_per_path = self._pair_to_path.sum(z)
-            b = (
-                d_p * w_p
-                - lam1[:, s.path_demand]
-                - d_p * lam4_per_path
-                + rho * (1.0 - s1[:, s.path_demand])
-                + rho * d_p * z_per_path
+            np.take(lam1, s.path_demand, axis=1, out=gather_p)  # lam1 gather
+            np.take(s1, s.path_demand, axis=1, out=tp_scratch)  # s1 gather
+            admm_f_rhs_into(
+                d_p_solve, w_p_solve, gather_p, lam4_per_path, tp_scratch,
+                z_per_path, rho, b, tp_solve,
             )
-            inv_a = 1.0 / a
-            sum_b_over_a = self._path_to_demand.sum(b * inv_a)
-            sum_inv_a = self._path_to_demand.sum(inv_a)
-            correction = sum_b_over_a / (1.0 + sum_inv_a)
-            F_flat = (inv_a / rho) * (b - correction[:, s.path_demand])
-            F_flat = np.clip(F_flat, 0.0, 1.0)
+            np.multiply(b, inv_a, out=tp_solve)
+            correction = self._path_to_demand.sum(tp_solve)
+            correction /= correction_denom
+            np.take(correction, s.path_demand, axis=1, out=tp_solve)
+            admm_f_solve_into(b, inv_a_over_rho, tp_solve, f_solve)
+            if mixed:
+                np.copyto(F_flat, f_solve)  # store single precision
 
             # ---- z-update: per-edge rank-1 + identity system ------------
-            beta = (
-                -lam3[:, s.pair_edge]
-                + lam4
-                + rho * (c_norm - s3)[:, s.pair_edge]
-                + rho * (F_flat * d_p)[:, s.pair_path]
-            )
-            sum_beta = self._pair_to_edge.sum(beta)
-            z = (
-                beta - (sum_beta / (1.0 + s.paths_per_edge))[:, s.pair_edge]
-            ) / rho
+            np.subtract(c_norm, s3, out=te_buf)
+            np.take(te_buf, s.pair_edge, axis=1, out=ti_buf)  # (c - s3) gather
+            np.multiply(F_flat, d_p, out=tp_buf)
+            np.take(tp_buf, s.pair_path, axis=1, out=flow_pairs)  # F*d gather
+            np.take(lam3, s.pair_edge, axis=1, out=beta)  # lam3 gather
+            admm_z_rhs_into(beta, lam4, ti_buf, flow_pairs, rho, beta)
+            sum_beta = self._pair_to_edge.sum(beta, dtype=dtype)
+            sum_beta /= one_plus_ppe
+            np.take(sum_beta, s.pair_edge, axis=1, out=ti_buf)
+            admm_z_solve_into(beta, ti_buf, rho, z)
 
             # ---- s-updates (non-negative slacks) -------------------------
-            sum_F = self._path_to_demand.sum(F_flat)
-            sum_z = self._pair_to_edge.sum(z)
-            s1 = np.maximum(0.0, (1.0 - sum_F) - lam1 / rho)
-            s3 = np.maximum(0.0, (c_norm - sum_z) - lam3 / rho)
+            sum_F = self._path_to_demand.sum(F_flat, dtype=dtype)
+            sum_z = self._pair_to_edge.sum(z, dtype=dtype)
+            admm_slack_into(1.0, sum_F, lam1, rho, s1, td_buf)
+            admm_slack_into(c_norm, sum_z, lam3, rho, s3, te_buf)
 
             # ---- dual updates -------------------------------------------
-            lam1 += rho * (sum_F + s1 - 1.0)
-            lam3 += rho * (sum_z + s3 - c_norm)
-            lam4 += rho * ((F_flat * d_p)[:, s.pair_path] - z)
+            admm_dual_step_(lam1, sum_F, s1, 1.0, rho, td_buf)
+            admm_dual_step_(lam3, sum_z, s3, c_norm, rho, te_buf)
+            np.multiply(F_flat, d_p, out=tp_buf)
+            np.take(tp_buf, s.pair_path, axis=1, out=flow_pairs)
+            np.subtract(flow_pairs, z, out=flow_pairs)
+            flow_pairs *= rho
+            lam4 += flow_pairs
 
         ratios = np.zeros_like(F)
         ratios[:, valid] = F_flat[:, self.pathset.demand_path_ids[valid]]

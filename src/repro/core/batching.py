@@ -1,25 +1,47 @@
-"""Batched segment arithmetic shared by the training and ADMM stacks.
+"""Batched segment arithmetic and fused elementwise kernels.
 
-The per-matrix math in COMA*'s decomposable reward and in the ADMM
-fine-tuner is built from three flat-index primitives over fixed integer
-maps (path -> demand, incidence pair -> edge, ...): ``np.bincount``
-segment sums, ``np.maximum.at`` segment maxima, and plain gathers. All of
-them extend to a leading (T,) batch axis by *tiling*: offset the index
-array by ``t * num_segments`` for batch element ``t`` and run the same
-1-D primitive over the flattened (T * N,) weights. Because every segment
-still accumulates its elements in the original order, the tiled result is
-bit-identical to running the per-matrix primitive T times — which is what
-lets the batched trainers and ``fine_tune_batch`` reproduce the per-TM
-loops to machine precision instead of merely "close".
+Two families of primitives live here, both shared across the training,
+inference, and ADMM stacks:
 
-:class:`SegmentOps` packages one index map with a cache of tiled index
-arrays keyed by batch size (training reuses the same minibatch size every
-step, so the tile is built once).
+**Segment ops.** The per-matrix math in COMA*'s decomposable reward and
+in the ADMM fine-tuner is built from three flat-index primitives over
+fixed integer maps (path -> demand, incidence pair -> edge, ...):
+``np.bincount`` segment sums, ``np.maximum.at`` segment maxima, and
+plain gathers. All of them extend to a leading (T,) batch axis by
+*tiling*: offset the index array by ``t * num_segments`` for batch
+element ``t`` and run the same 1-D primitive over the flattened (T * N,)
+weights. Because every segment still accumulates its elements in the
+original order, the tiled result is bit-identical to running the
+per-matrix primitive T times — which is what lets the batched trainers
+and ``fine_tune_batch`` reproduce the per-TM loops to machine precision
+instead of merely "close". Segment sums always *accumulate* in float64
+(``np.bincount``'s accumulator) whatever the storage dtype — the
+"float64 accumulation" half of the precision policy
+(:mod:`repro.nn.precision`).
+
+**Fused kernels.** The FlowGNN forward and the ADMM update loop are
+chains of elementwise ops; written naively each op allocates a fresh
+ndarray, so a 6-layer batched forward pays O(layers x T) temporaries.
+The small named kernels below perform the same chains through
+preallocated buffers and ufunc ``out=`` arguments — each kernel's
+docstring states the exact expression *and op order* it computes, so the
+fused result is bit-identical to the naive elementwise form at any fixed
+dtype (asserted by ``tests/test_precision.py``). A :class:`Workspace`
+owns the buffers, keyed by call-site name, so repeated inference calls
+(sweeps, ADMM iterations) stop allocating entirely after the first pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
+
+try:  # scipy's typed C kernels; fall back to `csr @ dense` if moved.
+    from scipy.sparse import _sparsetools
+
+    _CSR_MATVECS = _sparsetools.csr_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - scipy internal
+    _CSR_MATVECS = None
 
 
 class SegmentOps:
@@ -44,29 +66,360 @@ class SegmentOps:
             self._tiled[batch] = cached
         return cached
 
-    def sum(self, weights: np.ndarray) -> np.ndarray:
+    def sum(self, weights: np.ndarray, dtype: np.dtype | None = None) -> np.ndarray:
         """Per-segment sums: (T, N) weights -> (T, S) totals.
 
         Row ``t`` equals ``np.bincount(index, weights[t], minlength=S)``
-        bit for bit (same accumulation order per segment).
+        bit for bit (same accumulation order per segment). Accumulation
+        is always float64 (bincount's accumulator); ``dtype`` selects
+        the storage dtype of the result (default: float64, the historic
+        behaviour).
         """
-        weights = np.asarray(weights, dtype=float)
+        weights = np.asarray(weights)
         batch = weights.shape[0]
-        return np.bincount(
+        out = np.bincount(
             self.tiled_index(batch),
             weights=weights.reshape(-1),
             minlength=batch * self.num_segments,
         ).reshape(batch, self.num_segments)
+        if dtype is not None and out.dtype != dtype:
+            out = out.astype(dtype)
+        return out
 
-    def max(self, values: np.ndarray, initial: float = 0.0) -> np.ndarray:
+    def max(
+        self,
+        values: np.ndarray,
+        initial: float = 0.0,
+        dtype: np.dtype | None = None,
+    ) -> np.ndarray:
         """Per-segment maxima: (T, N) values -> (T, S), empty segments
-        keep ``initial``."""
-        values = np.asarray(values, dtype=float)
+        keep ``initial``. ``dtype`` selects the result dtype (default:
+        the values' own dtype)."""
+        values = np.asarray(values)
         batch = values.shape[0]
-        out = np.full(batch * self.num_segments, initial, dtype=float)
+        out = np.full(
+            batch * self.num_segments,
+            initial,
+            dtype=values.dtype if dtype is None else dtype,
+        )
         np.maximum.at(out, self.tiled_index(batch), values.reshape(-1))
         return out.reshape(batch, self.num_segments)
 
     def expand(self, per_segment: np.ndarray) -> np.ndarray:
         """Gather per-segment values back to elements: (T, S) -> (T, N)."""
-        return np.asarray(per_segment, dtype=float)[:, self.index]
+        return np.asarray(per_segment)[:, self.index]
+
+    def expand_into(self, per_segment: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Fused :meth:`expand`: gather (T, S) -> (T, N) into ``out``."""
+        np.take(per_segment, self.index, axis=-1, out=out)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Workspace: preallocated buffers for the fused kernels
+# ----------------------------------------------------------------------
+class Workspace:
+    """Named, shape/dtype-checked scratch buffers for fused kernels.
+
+    Each call site requests a buffer under a stable key; the buffer is
+    allocated on first use and reused verbatim afterwards, so a hot loop
+    (sweep inference, ADMM iterations) allocates only on its first pass.
+    Buffers hold *garbage* between uses — every kernel fully overwrites
+    its output.
+
+    NOT thread-safe: a workspace (and therefore any model/fine-tuner
+    holding one) must be driven by one thread at a time — concurrent
+    calls would interleave writes into shared scratch. The sweep engine
+    respects this by construction (each grid job builds its own
+    schemes); share across threads only behind a lock, or use separate
+    scheme instances.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[object, np.ndarray] = {}
+
+    def buffer(self, key, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """The buffer registered under ``key``, (re)allocated on shape or
+        dtype change (e.g. a new batch size or a precision switch)."""
+        shape = tuple(shape)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        """Drop every buffer (precision switches call this)."""
+        self._buffers.clear()
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Resident scratch memory (diagnostic for the benchmarks)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+# ----------------------------------------------------------------------
+# Fused kernels: FlowGNN forward
+# ----------------------------------------------------------------------
+def csr_matmul_into(csr: sp.csr_matrix, dense: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = csr @ dense`` through a preallocated buffer.
+
+    The sparse-aggregation kernel of the FlowGNN fast path. Uses scipy's
+    ``csr_matvecs`` C routine directly (it *accumulates* into the output
+    buffer, so the buffer is zeroed first); a (B, N, F) batched operand
+    runs one call per batch row — per output element the accumulation
+    order over the row's nonzeros is identical to ``csr @ dense``, so the
+    result is bit-identical to the allocating product. Falls back to the
+    allocating product if scipy's internals are unavailable or the
+    operands are not contiguous/dtype-matched.
+    """
+    if dense.ndim > 2:
+        for b in range(dense.shape[0]):
+            csr_matmul_into(csr, dense[b], out[b])
+        return out
+    if (
+        _CSR_MATVECS is None
+        or csr.data.dtype != dense.dtype
+        or not dense.flags.c_contiguous
+        or not out.flags.c_contiguous
+    ):
+        out[...] = csr @ dense
+        return out
+    n_row, n_col = csr.shape
+    out[...] = 0.0
+    _CSR_MATVECS(
+        n_row,
+        n_col,
+        dense.shape[1],
+        csr.indptr,
+        csr.indices,
+        csr.data,
+        dense.reshape(-1),
+        out.reshape(-1),
+    )
+    return out
+
+
+def pair_linear_into(
+    a: np.ndarray,
+    b: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    out: np.ndarray,
+    scratch: np.ndarray,
+) -> np.ndarray:
+    """``out = a @ weight[:split] + b @ weight[split:] (+ bias)``.
+
+    The raw-array twin of :func:`repro.nn.functional.pair_linear` with
+    the same op order (top product, plus bottom product, plus bias), so
+    forward values are bit-identical at fixed dtype.
+    """
+    split = a.shape[-1]
+    np.matmul(a, weight[:split], out=out)
+    np.matmul(b, weight[split:], out=scratch)
+    out += scratch
+    if bias is not None:
+        out += bias
+    return out
+
+
+def linear_into(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, out: np.ndarray
+) -> np.ndarray:
+    """``out = x @ weight (+ bias)`` — fused affine map."""
+    np.matmul(x, weight, out=out)
+    if bias is not None:
+        out += bias
+    return out
+
+
+def tanh_(x: np.ndarray) -> np.ndarray:
+    """In-place tanh (activation of the fused forward)."""
+    return np.tanh(x, out=x)
+
+
+def relu_(x: np.ndarray) -> np.ndarray:
+    """In-place ReLU, same expression as ``F.relu`` (max(x, 0))."""
+    return np.maximum(x, 0.0, out=x)
+
+
+def take_rows_into(x: np.ndarray, indices: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gather rows along the second-to-last axis into ``out``.
+
+    Raw-array twin of :func:`repro.nn.functional.take_rows` (forward
+    only — the fast path never needs the scatter-add backward).
+    """
+    np.take(x, indices, axis=-2, out=out)
+    return out
+
+
+def padded_take_rows_into(
+    x: np.ndarray,
+    safe_indices: np.ndarray,
+    invalid_rows: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Gather rows with padding slots zeroed, into ``out``.
+
+    Raw-array twin of :func:`repro.nn.functional.take_rows_padded`:
+    ``safe_indices`` is the flat index array with -1s replaced by 0 and
+    ``invalid_rows`` the flat positions of those padding slots (both
+    precomputed once per model — the masks are static).
+    """
+    np.take(x, safe_indices, axis=-2, out=out)
+    if invalid_rows.size:
+        out[..., invalid_rows, :] = 0.0
+    return out
+
+
+def masked_softmax_into(
+    logits: np.ndarray,
+    not_mask: np.ndarray,
+    out: np.ndarray,
+    reduce_buf: np.ndarray,
+) -> np.ndarray:
+    """Masked softmax along the last axis, into ``out``.
+
+    Identical op sequence to :func:`repro.nn.functional.softmax` with a
+    mask: masked logits forced to -1e30, max-shift, exp, masked exps
+    zeroed, divide by ``max(denom, 1e-30)`` — bit-identical at fixed
+    dtype. ``not_mask`` is the *negated* validity mask (precomputed —
+    it is static per pathset); ``reduce_buf`` holds the keepdims
+    max/denominator, shape ``out.shape[:-1] + (1,)``.
+    """
+    if out is not logits:
+        np.copyto(out, logits)
+    np.copyto(out, out.dtype.type(-1e30), where=not_mask)
+    np.max(out, axis=-1, keepdims=True, out=reduce_buf)
+    out -= reduce_buf
+    np.exp(out, out=out)
+    np.copyto(out, 0.0, where=not_mask)
+    np.sum(out, axis=-1, keepdims=True, out=reduce_buf)
+    np.maximum(reduce_buf, 1e-30, out=reduce_buf)
+    out /= reduce_buf
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fused kernels: ADMM block updates (§3.4, Appendix C)
+# ----------------------------------------------------------------------
+def admm_f_rhs_into(
+    d_p: np.ndarray,
+    w_p: np.ndarray,
+    lam1_g: np.ndarray,
+    lam4_pp: np.ndarray,
+    s1_g: np.ndarray,
+    z_pp: np.ndarray,
+    rho: float,
+    out: np.ndarray,
+    tmp: np.ndarray,
+) -> np.ndarray:
+    """F-update right-hand side, fused.
+
+    ``out = d_p*w_p - lam1_g - d_p*lam4_pp + rho*(1 - s1_g) + (rho*d_p)*z_pp``
+    in exactly that (left-associated) order — note the last term
+    associates as ``(rho * d_p) * z_pp``, matching the historical
+    elementwise expression bit for bit. Arithmetic runs in ``out``'s
+    dtype: lower-precision operands (e.g. float32 duals/slacks under the
+    mixed-precision policy) are promoted, never the reverse.
+    """
+    np.multiply(d_p, w_p, out=out)
+    out -= lam1_g
+    np.multiply(d_p, lam4_pp, out=tmp)
+    out -= tmp
+    # A dtype-strong 1.0 keeps the subtraction in out's precision even
+    # when s1_g is a float32 gather.
+    np.subtract(tmp.dtype.type(1.0), s1_g, out=tmp)
+    tmp *= rho
+    out += tmp
+    np.multiply(d_p, rho, out=tmp)
+    tmp *= z_pp
+    out += tmp
+    return out
+
+
+def admm_f_solve_into(
+    b: np.ndarray,
+    inv_a_over_rho: np.ndarray,
+    correction_g: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Sherman-Morrison F-solve + box projection, fused.
+
+    ``out = clip(inv_a_over_rho * (b - correction_g), 0, 1)``.
+    """
+    np.subtract(b, correction_g, out=out)
+    out *= inv_a_over_rho
+    np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def admm_z_rhs_into(
+    lam3_g: np.ndarray,
+    lam4: np.ndarray,
+    slack_g: np.ndarray,
+    flow_g: np.ndarray,
+    rho: float,
+    out: np.ndarray,
+) -> np.ndarray:
+    """z-update right-hand side, fused (consumes the gathered operands).
+
+    ``out = -lam3_g + lam4 + rho*slack_g + rho*flow_g`` in that order;
+    ``slack_g`` and ``flow_g`` are scaled in place (they are scratch
+    gathers of ``(c - s3)`` and ``F*d``).
+    """
+    np.negative(lam3_g, out=out)
+    out += lam4
+    slack_g *= rho
+    out += slack_g
+    flow_g *= rho
+    out += flow_g
+    return out
+
+
+def admm_z_solve_into(
+    beta: np.ndarray, correction_g: np.ndarray, rho: float, out: np.ndarray
+) -> np.ndarray:
+    """Rank-1-plus-identity z-solve: ``out = (beta - correction_g) / rho``."""
+    np.subtract(beta, correction_g, out=out)
+    out /= rho
+    return out
+
+
+def admm_slack_into(
+    bound,
+    total: np.ndarray,
+    dual: np.ndarray,
+    rho: float,
+    out: np.ndarray,
+    tmp: np.ndarray,
+) -> np.ndarray:
+    """Non-negative slack update: ``out = max(0, (bound - total) - dual/rho)``."""
+    np.subtract(bound, total, out=out)
+    np.divide(dual, rho, out=tmp)
+    out -= tmp
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def admm_dual_step_(
+    dual: np.ndarray,
+    total: np.ndarray,
+    slack: np.ndarray,
+    bound,
+    rho: float,
+    tmp: np.ndarray,
+) -> np.ndarray:
+    """Dual ascent step, fused: ``dual += rho * (total + slack - bound)``."""
+    np.add(total, slack, out=tmp)
+    tmp -= bound
+    tmp *= rho
+    dual += tmp
+    return dual

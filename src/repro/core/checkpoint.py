@@ -19,6 +19,8 @@ This module provides:
 
 from __future__ import annotations
 
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -50,12 +52,22 @@ def save_model(model: TealModel, path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
+    params = model.parameters()
     payload: dict[str, np.ndarray] = {
-        f"param_{i}": p.data for i, p in enumerate(model.parameters())
+        f"param_{i}": p.data for i, p in enumerate(params)
     }
     for key, value in _fingerprint(model).items():
         payload[f"meta_{key}"] = np.array(value)
-    np.savez(path, **payload)
+    # Parameter dtype travels with the checkpoint: loading float32
+    # weights into a float64 model (or vice versa) must be an explicit
+    # astype, not a silent mixed-precision model.
+    if params:
+        payload["meta_dtype"] = np.array(params[0].data.dtype.name)
+    # Write-then-rename so concurrent readers (the harness' shared
+    # cache_dir across CI/sweep processes) never see a torn file.
+    tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
+    np.savez(tmp, **payload)
+    os.replace(tmp, path)
     return path
 
 
@@ -64,15 +76,24 @@ def load_model(model: TealModel, path: str | Path) -> TealModel:
 
     The target model must be constructed with the same architecture
     (layer count, path budget); the path set itself may differ in size —
-    that is the point of topology-agnostic weights.
+    that is the point of topology-agnostic weights. The checkpoint's
+    parameter dtype must match the model's: a float32-trained checkpoint
+    no longer loads silently into a float64 model (cast the model with
+    ``model.astype(...)`` first if the mix is intentional). Legacy
+    checkpoints without dtype metadata are assumed float64.
 
     Raises:
-        ModelError: On architecture mismatch or corrupt checkpoints.
+        ModelError: On architecture, dtype mismatch or corrupt
+            checkpoints.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    with np.load(path) as data:
+    try:
+        handle = np.load(path)
+    except (zipfile.BadZipFile, ValueError, EOFError) as error:
+        raise ModelError(f"corrupt checkpoint {path}: {error}") from error
+    with handle as data:
         expected = _fingerprint(model)
         for key in ("num_gnn_layers", "max_paths", "embedding_dim"):
             stored = int(data[f"meta_{key}"])
@@ -82,6 +103,16 @@ def load_model(model: TealModel, path: str | Path) -> TealModel:
                     f"{key}={expected[key]}"
                 )
         params = model.parameters()
+        stored_dtype = (
+            str(data["meta_dtype"].item()) if "meta_dtype" in data else "float64"
+        )
+        model_dtype = params[0].data.dtype.name if params else "float64"
+        if stored_dtype != model_dtype:
+            raise ModelError(
+                f"checkpoint holds {stored_dtype} parameters but the model "
+                f"is {model_dtype}; cast explicitly with model.astype(...) "
+                "before loading if the precision change is intended"
+            )
         stored_count = int(data["meta_num_parameters"])
         if stored_count != expected["num_parameters"]:
             raise ModelError(
@@ -96,6 +127,8 @@ def load_model(model: TealModel, path: str | Path) -> TealModel:
                     f"model shape {p.data.shape}"
                 )
             p.data = arr.copy()
+            # Pending gradients described the overwritten weights.
+            p.grad = None
     return model
 
 
@@ -106,6 +139,14 @@ def transfer_weights(source: AllocatorModel, target: AllocatorModel) -> int:
     topologies or demand sets); only the parameter list must align
     shape-for-shape — which holds for TealModels sharing hyperparameters,
     because no weight's shape depends on the topology size (§3.2-§3.3).
+
+    Copied values adopt each *target* parameter's dtype: transferring
+    from a float32-cast donor into a float64 model upcasts instead of
+    silently turning the target into a mixed-precision model whose
+    parameters disagree with its aggregation matrices (cast the donor
+    back with ``astype`` first if full-precision weights are wanted).
+    Any cached full-precision master state on the target is invalidated
+    — it described the overwritten weights.
 
     Returns:
         The number of parameters copied.
@@ -127,5 +168,8 @@ def transfer_weights(source: AllocatorModel, target: AllocatorModel) -> int:
                 "differ; architectures are incompatible"
             )
     for a, b in zip(src, dst):
-        b.data = a.data.copy()
+        b.data = a.data.astype(b.data.dtype, copy=True)
+        b.grad = None
+    if hasattr(target, "_master64"):
+        target._master64 = None
     return len(dst)

@@ -31,6 +31,15 @@ from ..nn.layers import Linear, Module
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
 from ..topology.graph import broadcast_capacities
+from .batching import (
+    Workspace,
+    csr_matmul_into,
+    linear_into,
+    padded_take_rows_into,
+    pair_linear_into,
+    take_rows_into,
+    tanh_,
+)
 
 
 class FlowGNNLayer(Module):
@@ -188,6 +197,21 @@ class FlowGNN(Module):
         scatter = np.empty(pathset.num_paths, dtype=int)
         scatter[order] = positions
         self.scatter_index = scatter
+        # Flat gather index with -1s clamped to 0, plus the flat padding
+        # positions — the static inputs of the fused padded gather.
+        flat_gather = self.gather_index.reshape(-1)
+        self.safe_gather_index = np.where(flat_gather < 0, 0, flat_gather)
+        self.invalid_gather_rows = np.flatnonzero(flat_gather < 0)
+
+        # Compute dtype of the forward (see repro.nn.precision); astype()
+        # switches it together with the parameters and aggregation
+        # matrices. The float64 aggregates built above are stashed before
+        # the first downcast so casting back to float64 restores them
+        # exactly (a float32 round trip would round e.g. the 1/3 degree
+        # scales). The fused inference path reuses the workspace buffers.
+        self._dtype = np.dtype(np.float64)
+        self._aggregates64 = None
+        self.workspace = Workspace()
 
         # Layer dims grow 1, 2, ..., num_layers (§4 embedding growth).
         self.gnn_layers = [
@@ -203,6 +227,88 @@ class FlowGNN(Module):
         """Width of the final PathNode embeddings."""
         return self.num_layers
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the forward (switch with :meth:`astype`)."""
+        return self._dtype
+
+    def astype(self, dtype) -> "FlowGNN":
+        """Cast parameters *and* aggregation matrices to ``dtype``.
+
+        The precision hook of the substrate: the sparse aggregation
+        matrices and degree scales must match the embedding dtype or
+        every sparse product would silently promote back to float64.
+        Casting away from float64 stashes the exact float64 aggregates;
+        casting back restores them bit for bit instead of upcasting
+        rounded float32 values. Workspace buffers are dropped (they are
+        dtype-keyed). Parameters are always (re)cast, so a model whose
+        parameter dtypes changed out-of-band is repaired rather than
+        skipped.
+        """
+        dtype = np.dtype(dtype)
+        params = self.parameters()
+        if dtype == self._dtype and (not params or params[0].data.dtype == dtype):
+            return self
+        super().astype(dtype)
+        if self._dtype == np.float64 and dtype != np.float64:
+            self._aggregates64 = (
+                self.edge_agg, self.path_agg, self.edge_agg_t,
+                self.path_agg_t, self.edge_scale, self.path_scale,
+            )
+        if dtype == np.float64 and self._aggregates64 is not None:
+            (
+                self.edge_agg, self.path_agg, self.edge_agg_t,
+                self.path_agg_t, self.edge_scale, self.path_scale,
+            ) = self._aggregates64
+        else:
+            self.edge_agg = self.edge_agg.astype(dtype)
+            self.path_agg = self.path_agg.astype(dtype)
+            self.edge_agg_t = self.edge_agg_t.astype(dtype)
+            self.path_agg_t = self.path_agg_t.astype(dtype)
+            self.edge_scale = self.edge_scale.astype(dtype)
+            self.path_scale = self.path_scale.astype(dtype)
+        self._dtype = dtype
+        self.workspace.clear()
+        return self
+
+    def _initial_embeddings(
+        self, demands: np.ndarray, capacities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(E, 1) / (P, 1) initializations in the model dtype (§3.2)."""
+        demands = np.asarray(demands, dtype=self._dtype)
+        capacities = np.asarray(capacities, dtype=self._dtype)
+        pathset = self.pathset
+        if demands.shape != (pathset.num_demands,):
+            raise ModelError("demands shape mismatch")
+        if capacities.shape != (pathset.topology.num_edges,):
+            raise ModelError("capacities shape mismatch")
+        # EdgeNode <- capacity, PathNode <- demand volume, normalized to
+        # keep activations in range.
+        scale = max(float(capacities.mean()), 1e-9)
+        edge_init = (capacities / scale).reshape(-1, 1)
+        path_init = (demands[pathset.path_demand] / scale).reshape(-1, 1)
+        return edge_init, path_init
+
+    def _initial_embeddings_batch(
+        self, demands: np.ndarray, capacities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(B, E, 1) / (B, P, 1) initializations in the model dtype."""
+        demands = np.asarray(demands, dtype=self._dtype)
+        pathset = self.pathset
+        if demands.ndim != 2 or demands.shape[1] != pathset.num_demands:
+            raise ModelError("demands must be (batch, num_demands)")
+        batch = demands.shape[0]
+        capacities = broadcast_capacities(capacities, batch)
+        if capacities.shape != (batch, pathset.topology.num_edges):
+            raise ModelError("capacities must be (num_edges,) or (batch, num_edges)")
+        capacities = np.asarray(capacities, dtype=self._dtype)
+        # Per-element normalization matches the single-TM path exactly, so
+        # batched and looped inference agree to machine precision.
+        scale = np.maximum(capacities.mean(axis=-1), 1e-9)[:, None, None]
+        edge_init = capacities[:, :, None] / scale
+        path_init = demands[:, pathset.path_demand][:, :, None] / scale
+        return edge_init, path_init
+
     def forward(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
         """Compute (P, embedding_dim) flow embeddings.
 
@@ -213,19 +319,7 @@ class FlowGNN(Module):
         Returns:
             PathNode embeddings encoding flows for the downstream policy.
         """
-        demands = np.asarray(demands, dtype=float)
-        capacities = np.asarray(capacities, dtype=float)
-        pathset = self.pathset
-        if demands.shape != (pathset.num_demands,):
-            raise ModelError("demands shape mismatch")
-        if capacities.shape != (pathset.topology.num_edges,):
-            raise ModelError("capacities shape mismatch")
-
-        # Initialization (§3.2): EdgeNode <- capacity, PathNode <- demand
-        # volume, normalized to keep activations in range.
-        scale = max(float(capacities.mean()), 1e-9)
-        edge_init = (capacities / scale).reshape(-1, 1)
-        path_init = (demands[pathset.path_demand] / scale).reshape(-1, 1)
+        edge_init, path_init = self._initial_embeddings(demands, capacities)
         return self._propagate(edge_init, path_init)
 
     def forward_batch(
@@ -246,20 +340,7 @@ class FlowGNN(Module):
         Returns:
             Batched PathNode embeddings (B, P, embedding_dim).
         """
-        demands = np.asarray(demands, dtype=float)
-        pathset = self.pathset
-        if demands.ndim != 2 or demands.shape[1] != pathset.num_demands:
-            raise ModelError("demands must be (batch, num_demands)")
-        batch = demands.shape[0]
-        capacities = broadcast_capacities(capacities, batch)
-        if capacities.shape != (batch, pathset.topology.num_edges):
-            raise ModelError("capacities must be (num_edges,) or (batch, num_edges)")
-
-        # Per-element normalization matches the single-TM path exactly, so
-        # batched and looped inference agree to machine precision.
-        scale = np.maximum(capacities.mean(axis=-1), 1e-9)[:, None, None]
-        edge_init = capacities[:, :, None] / scale
-        path_init = demands[:, pathset.path_demand][:, :, None] / scale
+        edge_init, path_init = self._initial_embeddings_batch(demands, capacities)
         return self._propagate(edge_init, path_init)
 
     def _propagate(self, edge_init: np.ndarray, path_init: np.ndarray) -> Tensor:
@@ -283,6 +364,124 @@ class FlowGNN(Module):
                 edge_emb = F.concat([edge_emb, Tensor(edge_init)], axis=-1)
                 path_emb = F.concat([path_emb, Tensor(path_init)], axis=-1)
         return path_emb
+
+    def _propagate_fused(
+        self, edge_init: np.ndarray, path_init: np.ndarray
+    ) -> np.ndarray:
+        """Inference-only layer stack on raw arrays through fused kernels.
+
+        Same math as :meth:`_propagate` — every kernel states the exact
+        op order it shares with the Tensor path, so the result is
+        bit-identical at the model's dtype — but with no autodiff tape
+        and no per-op temporaries: all intermediates live in the
+        instance :class:`~repro.core.batching.Workspace`, so repeated
+        calls (sweeps, traces) allocate nothing. The returned array is a
+        workspace buffer — callers copy before retaining it.
+        """
+        ws = self.workspace
+        dtype = edge_init.dtype
+        lead = edge_init.shape[:-2]
+        num_edges = edge_init.shape[-2]
+        num_paths = path_init.shape[-2]
+        num_demands = self.pathset.num_demands
+        k = self.pathset.max_paths
+
+        edge_emb = edge_init
+        path_emb = path_init
+        for layer in range(self.num_layers):
+            dim = layer + 1
+            gnn = self.gnn_layers[layer]
+            dnn = self.dnn_layers[layer]
+            # Paths -> edges, then the fused [own, aggregated] update.
+            agg_e = ws.buffer(("agg_e", layer), lead + (num_edges, dim), dtype)
+            csr_matmul_into(self.edge_agg, path_emb, agg_e)
+            new_edge = ws.buffer(("edge", layer), lead + (num_edges, dim), dtype)
+            scratch_e = ws.buffer(
+                ("edge_scratch", layer), lead + (num_edges, dim), dtype
+            )
+            bias = gnn.edge_update.bias
+            pair_linear_into(
+                edge_emb,
+                agg_e,
+                gnn.edge_update.weight.data,
+                None if bias is None else bias.data,
+                new_edge,
+                scratch_e,
+            )
+            tanh_(new_edge)
+            # Edges -> paths.
+            agg_p = ws.buffer(("agg_p", layer), lead + (num_paths, dim), dtype)
+            csr_matmul_into(self.path_agg, new_edge, agg_p)
+            new_path = ws.buffer(("path", layer), lead + (num_paths, dim), dtype)
+            scratch_p = ws.buffer(
+                ("path_scratch", layer), lead + (num_paths, dim), dtype
+            )
+            bias = gnn.path_update.bias
+            pair_linear_into(
+                path_emb,
+                agg_p,
+                gnn.path_update.weight.data,
+                None if bias is None else bias.data,
+                new_path,
+                scratch_p,
+            )
+            tanh_(new_path)
+            # Per-demand DNN layer: gather -> joint transform -> scatter.
+            grouped = ws.buffer(
+                ("grouped", layer), lead + (num_demands * k, dim), dtype
+            )
+            padded_take_rows_into(
+                new_path, self.safe_gather_index, self.invalid_gather_rows, grouped
+            )
+            flat = grouped.reshape(lead + (num_demands, k * dim))
+            updated = ws.buffer(
+                ("updated", layer), lead + (num_demands, k * dim), dtype
+            )
+            bias = dnn.transform.bias
+            linear_into(
+                flat,
+                dnn.transform.weight.data,
+                None if bias is None else bias.data,
+                updated,
+            )
+            tanh_(updated)
+            grid = updated.reshape(lead + (num_demands * k, dim))
+            path_out = ws.buffer(("path_out", layer), lead + (num_paths, dim), dtype)
+            take_rows_into(grid, self.scatter_index, path_out)
+            if layer < self.num_layers - 1:
+                # Embedding growth: re-append the initialization value.
+                grown_e = ws.buffer(
+                    ("edge_grow", layer), lead + (num_edges, dim + 1), dtype
+                )
+                grown_e[..., :dim] = new_edge
+                grown_e[..., dim:] = edge_init
+                edge_emb = grown_e
+                grown_p = ws.buffer(
+                    ("path_grow", layer), lead + (num_paths, dim + 1), dtype
+                )
+                grown_p[..., :dim] = path_out
+                grown_p[..., dim:] = path_init
+                path_emb = grown_p
+            else:
+                path_emb = path_out
+        return path_emb
+
+    def grouped_embeddings_into(self, path_emb: np.ndarray) -> np.ndarray:
+        """Fused :meth:`grouped_embeddings` on raw arrays (inference).
+
+        Returns a workspace buffer shaped (..., D, k * embedding_dim).
+        """
+        dim = path_emb.shape[-1]
+        lead = path_emb.shape[:-2]
+        num_demands = self.pathset.num_demands
+        k = self.pathset.max_paths
+        grouped = self.workspace.buffer(
+            "features", lead + (num_demands * k, dim), path_emb.dtype
+        )
+        padded_take_rows_into(
+            path_emb, self.safe_gather_index, self.invalid_gather_rows, grouped
+        )
+        return grouped.reshape(lead + (num_demands, k * dim))
 
     def grouped_embeddings(self, path_emb: Tensor) -> Tensor:
         """Arrange path embeddings as (..., D, k * embedding_dim) policy inputs.

@@ -11,10 +11,11 @@ import numpy as np
 
 from ..config import TealHyperparameters
 from ..exceptions import ModelError
-from ..nn.layers import Module
+from ..nn.layers import Linear, Module, ReLU, Tanh
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
 from ..topology.graph import broadcast_capacities
+from .batching import linear_into, masked_softmax_into, relu_, tanh_
 from .flowgnn import FlowGNN
 from .policy import PolicyNetwork
 
@@ -178,6 +179,134 @@ class TealModel(AllocatorModel):
         embeddings = self.flow_gnn.forward_batch(demands, capacities)
         features = self.flow_gnn.grouped_embeddings(embeddings)
         return self.policy(features)
+
+    # ------------------------------------------------------------------
+    # Fused inference (no tape, preallocated buffers)
+    # ------------------------------------------------------------------
+    def astype(self, dtype) -> "TealModel":
+        """Cast the whole model (FlowGNN aggregation state included).
+
+        Precision round trips are lossless: casting away from float64
+        stashes the exact float64 parameters, and casting back restores
+        them (an f32 round trip would otherwise perturb weights by
+        ~1e-8, breaking "training always sees the float64 model").
+        ``transfer_weights`` and ``load_model`` invalidate or bypass the
+        stash, so out-of-band weight updates never resurrect old values.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.dtype:
+            # Still route through FlowGNN so a model whose parameter
+            # dtypes changed out-of-band gets repaired.
+            self.flow_gnn.astype(dtype)
+            self.policy.astype(dtype)
+            return self
+        master = getattr(self, "_master64", None)
+        if self.dtype == np.float64 and dtype != np.float64:
+            self._master64 = [p.data.copy() for p in self.parameters()]
+        self.flow_gnn.astype(dtype)
+        self.policy.astype(dtype)
+        if dtype == np.float64 and master is not None:
+            for p, arr in zip(self.parameters(), master):
+                p.data = arr
+                p.grad = None
+            self._master64 = None
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the forward (see :mod:`repro.nn.precision`)."""
+        return self.flow_gnn.dtype
+
+    def _policy_fused(self, features: np.ndarray) -> np.ndarray:
+        """Raw-array policy MLP through the FlowGNN workspace buffers."""
+        ws = self.flow_gnn.workspace
+        x = features
+        for i, module in enumerate(self.policy.net.modules):
+            if isinstance(module, Linear):
+                out = ws.buffer(
+                    ("policy", i), x.shape[:-1] + (module.out_features,), x.dtype
+                )
+                bias = module.bias
+                linear_into(
+                    x, module.weight.data,
+                    None if bias is None else bias.data, out,
+                )
+                x = out
+            elif isinstance(module, ReLU):
+                relu_(x)
+            elif isinstance(module, Tanh):
+                tanh_(x)
+            else:  # pragma: no cover - TealModel policies are relu MLPs
+                x = module(Tensor(x)).numpy()
+        return x
+
+    def _split_ratios_fused(
+        self, demands: np.ndarray, capacities: np.ndarray, batched: bool
+    ) -> np.ndarray:
+        """The deployment forward on raw arrays (bit-identical to the
+        Tensor path at the model dtype; see ``tests/test_precision.py``).
+
+        Uses the model's shared workspace buffers, so one model instance
+        must not run concurrent forwards from multiple threads (see
+        :class:`~repro.core.batching.Workspace`)."""
+        fg = self.flow_gnn
+        if batched:
+            edge_init, path_init = fg._initial_embeddings_batch(
+                demands, capacities
+            )
+        else:
+            edge_init, path_init = fg._initial_embeddings(demands, capacities)
+        embeddings = fg._propagate_fused(edge_init, path_init)
+        features = fg.grouped_embeddings_into(embeddings)
+        logits = self._policy_fused(features)
+        not_mask = getattr(self, "_not_path_mask", None)
+        if not_mask is None:
+            not_mask = ~self.pathset.path_mask
+            self._not_path_mask = not_mask
+        reduce_buf = fg.workspace.buffer(
+            "softmax_reduce", logits.shape[:-1] + (1,), logits.dtype
+        )
+        masked_softmax_into(logits, not_mask, logits, reduce_buf)
+        # The result lives in a reused workspace buffer: hand the caller
+        # an owned copy so the next forward cannot mutate it.
+        return logits.copy()
+
+    def split_ratios(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+        fused: bool = True,
+    ) -> np.ndarray:
+        """Numpy (D, k) split ratios via the fused inference path.
+
+        ``fused=False`` runs the tape-building Tensor forward instead
+        (the naive-elementwise reference the equivalence tests compare
+        against).
+        """
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        if not fused:
+            return self.forward(demands, capacities).numpy()
+        return self._split_ratios_fused(demands, capacities, batched=False)
+
+    def split_ratios_batch(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray | None = None,
+        fused: bool = True,
+    ) -> np.ndarray:
+        """Numpy (B, D, k) split ratios via one fused batched forward."""
+        if capacities is None:
+            capacities = self.pathset.topology.capacities
+        if not fused:
+            return self.forward_batch(demands, capacities).numpy()
+        demands = np.asarray(demands)
+        if demands.ndim == 2 and demands.shape[0] == 0:
+            return np.zeros(
+                (0, self.pathset.num_demands, self.pathset.max_paths),
+                dtype=self.dtype,
+            )
+        return self._split_ratios_fused(demands, capacities, batched=True)
 
     def flow_embeddings(
         self, demands: np.ndarray, capacities: np.ndarray | None = None

@@ -25,6 +25,7 @@ from ..lp.objectives import (
     Objective,
     TotalFlowObjective,
 )
+from ..nn.precision import Precision, resolve_precision
 from ..paths.pathset import PathSet
 from ..simulation.evaluator import Allocation
 from ..traffic.matrix import TrafficMatrix
@@ -47,6 +48,13 @@ class TealScheme(TEScheme):
         num_policy_layers: Policy hidden layers (Figure 15c).
         seed: Weight-init seed.
         use_admm: Force-enable/disable ADMM fine-tuning.
+        precision: Inference precision policy (default float64; the
+            harness and sweeps pass float32 — see
+            :mod:`repro.nn.precision`). Training always runs float64;
+            the model is cast to the inference precision lazily at the
+            first ``allocate`` call, and the ADMM acceptance check
+            scores both candidates through the float64 evaluator
+            whatever the storage dtype.
     """
 
     name = "Teal"
@@ -60,9 +68,11 @@ class TealScheme(TEScheme):
         num_policy_layers: int = 1,
         seed: int = 0,
         use_admm: bool | None = None,
+        precision: Precision | str | None = None,
     ) -> None:
         super().__init__(objective)
         self.pathset = pathset
+        self.precision = resolve_precision(precision)
         self.model = TealModel(
             pathset, hyper=hyper, num_policy_layers=num_policy_layers, seed=seed
         )
@@ -74,8 +84,21 @@ class TealScheme(TEScheme):
         path_values = None
         if not isinstance(self.objective, MinMaxLinkUtilizationObjective):
             path_values = self.objective.path_values(pathset)
-        self.admm = AdmmFineTuner(pathset, config=admm, path_values=path_values)
+        self.admm = AdmmFineTuner(
+            pathset, config=admm, path_values=path_values,
+            precision=self.precision,
+        )
         self.trained = False
+
+    def _ensure_precision(self) -> None:
+        """Cast the model to the inference precision (lazy, idempotent).
+
+        Deferred to the first inference call so that training — and the
+        harness' on-disk checkpointing, which stores full-precision
+        weights — always sees the float64 model.
+        """
+        if self.model.dtype != self.precision.dtype:
+            self.model.astype(self.precision.dtype)
 
     # ------------------------------------------------------------------
     # Training (offline stage)
@@ -97,6 +120,10 @@ class TealScheme(TEScheme):
             Histories keyed by phase (``"warm_start"``, ``"coma"``).
         """
         config = config if config is not None else TrainingConfig()
+        # Training stays float64 whatever the inference precision: the
+        # 6-layer gradient chain and Adam's moment accumulation are where
+        # single precision actually loses accuracy (repro.nn.precision).
+        self.model.astype(np.float64)
         histories: dict[str, TrainingHistory] = {}
         warm_steps = config.warm_start_steps
         if warm_steps > 0:
@@ -128,6 +155,7 @@ class TealScheme(TEScheme):
         ``capacities``).
         """
         self.model.check_compatible(pathset)
+        self._ensure_precision()
         demands = np.asarray(demands, dtype=float)
         capacities = self._capacities(pathset, capacities)
 
@@ -203,6 +231,7 @@ class TealScheme(TEScheme):
             :meth:`allocate` outputs to machine precision.
         """
         self.model.check_compatible(pathset)
+        self._ensure_precision()
         demands = np.asarray(demands, dtype=float)
         num_matrices = demands.shape[0]
         caps = self._capacities_batch(pathset, num_matrices, capacities)
@@ -280,7 +309,11 @@ class TealScheme(TEScheme):
             admm=self.admm.config,
             seed=seed,
             use_admm=self.use_admm,
+            precision=self.precision,
         )
+        # Warm-start from full-precision weights (the donor may have been
+        # cast for inference; retraining always begins in float64).
+        self.model.astype(np.float64)
         transfer_weights(self.model, new_scheme.model)
         if config is None:
             config = TrainingConfig(steps=20, warm_start_steps=60, log_every=20)
@@ -295,6 +328,7 @@ class TealScheme(TEScheme):
     ) -> Allocation:
         """Raw model output ("Teal w/o ADMM" in Figure 14)."""
         self.model.check_compatible(pathset)
+        self._ensure_precision()
         demands = np.asarray(demands, dtype=float)
         capacities = self._capacities(pathset, capacities)
         start = time.perf_counter()

@@ -16,15 +16,19 @@ so every trend the figures sweep is reproduced on a CPU budget. Pass
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from .baselines import LpAll, LpTop, NCFlow, Pop, TeavarStar
 from .config import POP_REPLICAS, AdmmConfig, TrainingConfig
 from .core import TealScheme
+from .core.checkpoint import load_model, save_model
 from .exceptions import ReproError
+from .nn.precision import DEFAULT_INFERENCE_PRECISION, Precision, resolve_precision
 from .lp.objectives import Objective, TotalFlowObjective, get_objective
 from .paths.pathset import PathSet
 from .simulation.evaluator import evaluate_allocations_batch
@@ -71,8 +75,13 @@ BENCH_POP_REPLICAS = {name: bench_pop_replicas(name) for name in POP_REPLICAS}
 #: Default short training budget for benchmark Teal models.
 #: Failure augmentation stands in for the capacity-state diversity a
 #: week-long production training run would see (§5.3; TrainingConfig).
+#: ``batch_matrices=4`` exploits the minibatch axis: each gradient step
+#: consumes four matrices through one batched forward/backward, so the
+#: same step count sees 4x the traffic diversity at ~the cost of the
+#: one-matrix loop (see BENCH_training.json).
 BENCH_TRAINING = TrainingConfig(
-    steps=60, warm_start_steps=220, log_every=40, failure_rate=0.25
+    steps=60, warm_start_steps=220, log_every=40, failure_rate=0.25,
+    batch_matrices=4,
 )
 
 
@@ -220,12 +229,26 @@ def make_baselines(
     return schemes
 
 
+def teal_cache_path(cache_dir: str | Path, key: tuple) -> Path:
+    """Checkpoint path of a trained-model cache entry.
+
+    The filename is a content hash of the full cache key (scenario
+    build key, objective, frozen TrainingConfig, seed, precision, and
+    resolved TealScheme kwargs — the PR-3 collision-free key), so every
+    distinct training configuration gets its own on-disk entry.
+    """
+    token = hashlib.sha256(repr(key).encode()).hexdigest()[:20]
+    return Path(cache_dir) / f"teal-{token}.npz"
+
+
 def trained_teal(
     scenario: Scenario,
     objective_name: str = "total_flow",
     config: TrainingConfig | None = None,
     seed: int = 0,
     use_cache: bool = True,
+    precision: Precision | str | None = None,
+    cache_dir: str | Path | None = None,
     **teal_kwargs,
 ) -> TealScheme:
     """Build and train a Teal scheme for a scenario (cached per session).
@@ -236,12 +259,23 @@ def trained_teal(
         config: Training budget (default: the benchmark budget).
         seed: Model seed.
         use_cache: Reuse an identical previously trained model.
+        precision: Inference precision (default float32 — the measured
+            parity/speedup default for sweeps; see
+            :mod:`repro.nn.precision`). Training always runs float64 and
+            checkpoints store float64 weights, so one on-disk entry
+            serves every inference precision's in-memory twin.
+        cache_dir: Optional persistent cache directory. When set, the
+            trained model's weights are stored as an ``.npz`` checkpoint
+            keyed by the full config (see :func:`teal_cache_path`) and
+            later calls — including fresh processes and CI runs — skip
+            retraining by loading the checkpoint.
         **teal_kwargs: Extra arguments forwarded to :class:`TealScheme`.
 
     Returns:
         A trained :class:`TealScheme`.
     """
     config = config if config is not None else BENCH_TRAINING
+    precision = resolve_precision(precision, default=DEFAULT_INFERENCE_PRECISION)
     # The paper tunes 2/5 ADMM iterations for its GPU pipeline; our numpy
     # ADMM converges a little slower per iteration, so the benchmark
     # harness uses 12 (still sub-millisecond per iteration; DESIGN.md §2).
@@ -251,7 +285,9 @@ def trained_teal(
     # a subset of fields silently returned models trained under a
     # different failure_rate / batch size / training seed. The scenario's
     # build_key likewise distinguishes workloads that share (name, seed,
-    # num_demands) but differ in splits, headroom, or scale.
+    # num_demands) but differ in splits, headroom, or scale. Precision is
+    # part of the key: a float32-inference scheme must not be handed to a
+    # caller that asked for float64 parity numbers.
     key = (
         scenario.name,
         scenario.seed,
@@ -260,13 +296,50 @@ def trained_teal(
         objective_name,
         config,
         seed,
+        precision.name,
         tuple(sorted(teal_kwargs.items())),
     )
+    # On-disk tier: checkpoints are precision-independent (float64
+    # weights, saved before the lazy inference cast), so the disk key
+    # drops the precision component of the in-memory key.
+    checkpoint = None
+    if cache_dir is not None:
+        checkpoint = teal_cache_path(cache_dir, key[:7] + key[8:])
     if use_cache and key in _TEAL_CACHE:
-        return _TEAL_CACHE[key]
+        cached = _TEAL_CACHE[key]
+        if checkpoint is not None and not checkpoint.exists():
+            # The caller asked for persistence after an in-memory hit:
+            # materialize the checkpoint now. A model already cast for
+            # inference round-trips through its float64 master state
+            # (lossless — see TealModel.astype), so the checkpoint
+            # always holds the exact full-precision weights.
+            model = cached.model
+            inference_dtype = None
+            if model.dtype != np.float64:
+                if getattr(model, "_master64", None) is None:
+                    return cached  # exact float64 weights are gone
+                inference_dtype = model.dtype
+                model.astype(np.float64)
+            checkpoint.parent.mkdir(parents=True, exist_ok=True)
+            save_model(model, checkpoint)
+            if inference_dtype is not None:
+                model.astype(inference_dtype)
+        return cached
     objective = get_objective(objective_name)
-    teal = TealScheme(scenario.pathset, objective=objective, seed=seed, **teal_kwargs)
-    teal.train(scenario.split.train, config=config)
+    teal = TealScheme(
+        scenario.pathset, objective=objective, seed=seed,
+        precision=precision, **teal_kwargs,
+    )
+    # use_cache=False means "do not reuse" for the disk tier too: train
+    # fresh and overwrite the stored entry instead of loading it.
+    if use_cache and checkpoint is not None and checkpoint.exists():
+        load_model(teal.model, checkpoint)
+        teal.trained = True
+    else:
+        teal.train(scenario.split.train, config=config)
+        if checkpoint is not None:
+            checkpoint.parent.mkdir(parents=True, exist_ok=True)
+            save_model(teal.model, checkpoint)
     if use_cache:
         _TEAL_CACHE[key] = teal
     return teal

@@ -8,12 +8,26 @@ from . import functional
 from .init import kaiming_uniform, xavier_uniform
 from .layers import LeakyReLU, Linear, Module, ReLU, Sequential, Tanh, mlp
 from .optim import SGD, Adam, Optimizer
+from .precision import (
+    DEFAULT_INFERENCE_PRECISION,
+    DEFAULT_PRECISION,
+    FLOAT32,
+    FLOAT64,
+    Precision,
+    resolve_precision,
+)
 from .tensor import Parameter, Tensor, as_tensor
 
 __all__ = [
     "Tensor",
     "Parameter",
     "as_tensor",
+    "Precision",
+    "resolve_precision",
+    "FLOAT32",
+    "FLOAT64",
+    "DEFAULT_PRECISION",
+    "DEFAULT_INFERENCE_PRECISION",
     "functional",
     "Module",
     "Linear",

@@ -35,6 +35,28 @@ class Module:
         """Total scalar parameter count."""
         return sum(p.size for p in self.parameters())
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place (the precision hook).
+
+        Modules that hold non-parameter compute state (e.g. FlowGNN's
+        aggregation matrices) override this and call ``super().astype``.
+        Pending gradients are dropped — casting mid-backward is a bug.
+
+        Returns:
+            ``self`` (chainable).
+        """
+        dtype = np.dtype(dtype)
+        for p in self.parameters():
+            p.data = p.data.astype(dtype, copy=False)
+            p.grad = None
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Parameter dtype (float64 for parameter-free modules)."""
+        params = self.parameters()
+        return params[0].data.dtype if params else np.dtype(np.float64)
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Flat name->array mapping of all parameters (copy)."""
         return {

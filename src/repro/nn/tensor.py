@@ -40,9 +40,24 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+#: Float dtypes a Tensor payload may carry (see repro.nn.precision).
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
 def _as_array(value) -> np.ndarray:
-    arr = np.asarray(value, dtype=float)
-    return arr
+    """Coerce a payload to a float ndarray, *preserving* its precision.
+
+    float32 and float64 arrays pass through unchanged — the substrate is
+    dtype-polymorphic and the active precision is whatever dtype the
+    inputs (model parameters, demand stacks) carry. Everything else
+    (lists, ints, bools, scalars) converts to the float64 default.
+    """
+    if isinstance(value, np.ndarray) and value.dtype in _FLOAT_DTYPES:
+        return value
+    if isinstance(value, (np.float32, np.float64)):
+        # Reductions of float32 arrays yield numpy scalars; keep them.
+        return np.asarray(value)
+    return np.asarray(value, dtype=float)
 
 
 def _transpose_last(arr: np.ndarray) -> np.ndarray:
@@ -56,7 +71,10 @@ class Tensor:
     """An autodiff tensor.
 
     Args:
-        data: Array-like payload (converted to float64 ndarray).
+        data: Array-like payload. float32/float64 ndarrays keep their
+            dtype (the substrate is dtype-polymorphic; see
+            :mod:`repro.nn.precision`); anything else converts to the
+            float64 default.
         requires_grad: Whether gradients should flow to this tensor.
         parents: Tensors this one was computed from (tape edges).
         backward_fn: Closure that, given this tensor's output gradient,
@@ -180,7 +198,7 @@ class Tensor:
     # Arithmetic ops
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self.data)
         out = Tensor(self.data + other.data, parents=(self, other))
 
         def backward(grad: np.ndarray) -> None:
@@ -205,13 +223,13 @@ class Tensor:
         return out
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-as_tensor(other, like=self.data))
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return as_tensor(other, like=self.data) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self.data)
         out = Tensor(self.data * other.data, parents=(self, other))
 
         def backward(grad: np.ndarray) -> None:
@@ -226,7 +244,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self.data)
         out = Tensor(self.data / other.data, parents=(self, other))
 
         def backward(grad: np.ndarray) -> None:
@@ -239,7 +257,7 @@ class Tensor:
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return as_tensor(other, like=self.data) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -323,10 +341,28 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
 
-def as_tensor(value) -> Tensor:
-    """Coerce arrays/scalars to constant tensors; pass tensors through."""
+def as_tensor(value, like: np.ndarray | None = None) -> Tensor:
+    """Coerce arrays/scalars to constant tensors; pass tensors through.
+
+    Args:
+        value: Tensor, ndarray, or scalar.
+        like: Optional reference array. Plain Python scalars adopt its
+            dtype — the tensor analogue of numpy's weak scalar
+            promotion, so ``float32_tensor * 2.0`` stays float32 instead
+            of silently promoting through a float64 scalar tensor.
+            Numpy scalars are *strong* (as in NEP 50) and keep their own
+            dtype: ``np.float64`` subclasses Python ``float``, so it
+            must be excluded here or float64 reduction results would be
+            silently rounded into float32.
+    """
     if isinstance(value, Tensor):
         return value
+    if (
+        like is not None
+        and isinstance(value, (int, float))
+        and not isinstance(value, (bool, np.generic))
+    ):
+        return Tensor(np.asarray(value, dtype=like.dtype))
     return Tensor(value)
 
 

@@ -71,6 +71,10 @@ class ScenarioSuite:
             style, control-delay semantics).
         objective: Objective registry name.
         training: Teal training budget (None = the benchmark default).
+        precision: Inference precision for Teal (``"float32"`` — the
+            default, measured to match float64 sweep results within 1e-4
+            relative — or ``"float64"``). Training always runs float64;
+            see :mod:`repro.nn.precision`.
         scale: Topology size factor (None = per-topology benchmark scale).
         max_pairs: Demand-pair budget (None = all ordered pairs).
         train: Training matrices per scenario.
@@ -89,6 +93,7 @@ class ScenarioSuite:
     mode: str = "offline"
     objective: str = "total_flow"
     training: TrainingConfig | None = None
+    precision: str = "float32"
     scale: float | None = None
     max_pairs: int | None = 1200
     train: int = 8
@@ -112,6 +117,11 @@ class ScenarioSuite:
                 raise ReproError(f"duplicate values in suite axis {name!r}")
         if self.mode not in ("offline", "online"):
             raise ReproError(f"unknown sweep mode {self.mode!r}")
+        if self.precision not in ("float32", "float64"):
+            raise ReproError(
+                f"unknown precision {self.precision!r}; "
+                "expected 'float32' or 'float64'"
+            )
 
     @property
     def num_jobs(self) -> int:
@@ -336,6 +346,7 @@ def _run_topology_job(
             objective_name=suite.objective,
             config=suite.training,
             seed=seed,
+            precision=suite.precision,
         )
         train_seconds = time.perf_counter() - start
     schemes = {name: schemes[name] for name in suite.schemes}

@@ -43,6 +43,55 @@ class TestCheckpoint:
         with pytest.raises(ModelError):
             load_model(other, path)
 
+    def test_corrupt_checkpoint_raises_model_error(self, b4_pathset, tmp_path):
+        bad = tmp_path / "model.npz"
+        bad.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(ModelError, match="corrupt"):
+            load_model(TealModel(b4_pathset, seed=0), bad)
+
+    def test_load_clears_pending_gradients(self, b4_pathset, b4_demands, tmp_path):
+        """Gradients computed against pre-load weights must not survive
+        the load (they would corrupt the next optimizer step)."""
+        model = TealModel(b4_pathset, seed=0)
+        path = save_model(model, tmp_path / "model")
+        loss = model(b4_demands, b4_pathset.topology.capacities).sum()
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        load_model(model, path)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_dtype_mismatch_rejected(self, b4_pathset, tmp_path):
+        """Regression: a float32-trained checkpoint used to load silently
+        into a float64 model (leaving it mixed-precision); the stored
+        dtype metadata now makes the mismatch an explicit error."""
+        model = TealModel(b4_pathset, seed=0).astype(np.float32)
+        path = save_model(model, tmp_path / "model32")
+
+        target = TealModel(b4_pathset, seed=1)  # float64
+        with pytest.raises(ModelError, match="float32"):
+            load_model(target, path)
+        # Casting the target first makes the load legal again.
+        load_model(target.astype(np.float32), path)
+        for a, b in zip(model.parameters(), target.parameters()):
+            assert a.data.dtype == np.float32
+            assert np.array_equal(a.data, b.data)
+
+    def test_legacy_checkpoint_without_dtype_metadata(
+        self, b4_pathset, b4_demands, tmp_path
+    ):
+        """Checkpoints written before dtype metadata existed load as
+        float64 (the only dtype the old substrate produced)."""
+        model = TealModel(b4_pathset, seed=5)
+        reference = model.split_ratios(b4_demands)
+        path = save_model(model, tmp_path / "model")
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files if k != "meta_dtype"}
+        np.savez(path, **payload)
+
+        fresh = TealModel(b4_pathset, seed=9)
+        load_model(fresh, path)
+        assert np.allclose(fresh.split_ratios(b4_demands), reference)
+
     def test_transfer_weights_across_topologies(self, b4_pathset):
         """Teal's weights are topology-size agnostic (§3.2-§3.3, §4)."""
         other_topology = swan(num_nodes=15, seed=2, capacity=90.0)

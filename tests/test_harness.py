@@ -168,12 +168,143 @@ class TestTrainedTeal:
         )
         assert other is not default
         assert other.admm.config.iterations == 3
+
+    def test_cache_distinguishes_precision(self, b4_scenario):
+        config = TrainingConfig(steps=2, warm_start_steps=4, log_every=10)
+        f32 = trained_teal(b4_scenario, config=config)  # default float32
+        f64 = trained_teal(b4_scenario, config=config, precision="float64")
+        assert f32 is not f64
+        assert f32.precision.name == "float32"
+        assert f64.precision.name == "float64"
+        assert trained_teal(b4_scenario, config=config, precision="float32") is f32
+
+
+class TestTrainedTealDiskCache:
+    """The persistent model-cache tier (``cache_dir=``)."""
+
+    _CONFIG = TrainingConfig(steps=2, warm_start_steps=6, log_every=10)
+
+    @pytest.fixture(autouse=True)
+    def _cold_memory_cache(self, b4_scenario):
+        # The disk tier is only exercised on in-memory misses; start each
+        # test cold so earlier tests' entries cannot short-circuit it.
+        # (build_scenario re-fetch keeps the module-scoped scenario valid.)
+        from repro import harness
+
+        harness._TEAL_CACHE.clear()
+
+    def test_checkpoint_written_and_reused(self, b4_scenario, tmp_path):
+        first = trained_teal(
+            b4_scenario, config=self._CONFIG, cache_dir=tmp_path
+        )
+        checkpoints = list(tmp_path.glob("teal-*.npz"))
+        assert len(checkpoints) == 1
+
+        # A fresh process is simulated by clearing the in-memory cache;
+        # the second call must load the checkpoint instead of retraining.
+        clear_caches()
+        from repro.core import TealScheme
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("disk-cached model must not retrain")
+
+        original = TealScheme.train
+        TealScheme.train = boom
+        try:
+            second = trained_teal(
+                b4_scenario, config=self._CONFIG, cache_dir=tmp_path
+            )
+        finally:
+            TealScheme.train = original
+        assert second is not first
+        assert second.trained
+
+        demands = b4_scenario.demands(b4_scenario.split.test[0])
+        a = first.allocate(b4_scenario.pathset, demands)
+        b = second.allocate(b4_scenario.pathset, demands)
+        assert np.allclose(a.split_ratios, b.split_ratios)
+
+    def test_memory_hit_still_materializes_checkpoint(
+        self, b4_scenario, tmp_path
+    ):
+        """Asking for persistence after an in-memory hit writes the
+        checkpoint (even when the cached model was already cast for
+        inference — the float64 masters make the save lossless)."""
+        teal = trained_teal(b4_scenario, config=self._CONFIG)  # no cache_dir
+        demands = b4_scenario.demands(b4_scenario.split.test[0])
+        teal.allocate(b4_scenario.pathset, demands)  # lazy float32 cast
+        assert teal.model.dtype == np.float32
+
+        again = trained_teal(
+            b4_scenario, config=self._CONFIG, cache_dir=tmp_path
+        )
+        assert again is teal
+        assert teal.model.dtype == np.float32  # cast state untouched
+        checkpoints = list(tmp_path.glob("teal-*.npz"))
+        assert len(checkpoints) == 1
+        # The checkpoint holds float64 weights loadable into a fresh model.
+        from repro.core import TealModel, load_model
+
+        fresh = TealModel(b4_scenario.pathset, seed=0)
+        load_model(fresh, checkpoints[0])
+        assert fresh.dtype == np.float64
+
+    def test_disk_entry_shared_across_precisions(self, b4_scenario, tmp_path):
+        """Checkpoints store float64 weights, so float32 and float64
+        schemes share one on-disk entry (training ran once)."""
+        trained_teal(
+            b4_scenario, config=self._CONFIG, cache_dir=tmp_path,
+            precision="float32",
+        )
+        trained_teal(
+            b4_scenario, config=self._CONFIG, cache_dir=tmp_path,
+            precision="float64",
+        )
+        assert len(list(tmp_path.glob("teal-*.npz"))) == 1
+
+    def test_use_cache_false_bypasses_disk_tier(self, b4_scenario, tmp_path):
+        """use_cache=False means 'do not reuse' on disk too: the call
+        retrains (never loads) and refreshes the stored entry."""
+        trained_teal(b4_scenario, config=self._CONFIG, cache_dir=tmp_path)
+        [checkpoint] = tmp_path.glob("teal-*.npz")
+        before = checkpoint.stat().st_mtime_ns
+
+        from repro.core import TealScheme
+
+        calls = {"train": 0}
+        original = TealScheme.train
+
+        def counting(self, *args, **kwargs):
+            calls["train"] += 1
+            return original(self, *args, **kwargs)
+
+        TealScheme.train = counting
+        try:
+            trained_teal(
+                b4_scenario, config=self._CONFIG, cache_dir=tmp_path,
+                use_cache=False,
+            )
+        finally:
+            TealScheme.train = original
+        assert calls["train"] == 1  # retrained despite the existing entry
+        assert checkpoint.stat().st_mtime_ns > before  # entry refreshed
+
+    def test_distinct_configs_distinct_checkpoints(self, b4_scenario, tmp_path):
+        from repro.config import AdmmConfig
+
+        default = trained_teal(b4_scenario, config=self._CONFIG, cache_dir=tmp_path)
+        other = dataclasses.replace(self._CONFIG, steps=3)
+        trained_teal(b4_scenario, config=other, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("teal-*.npz"))) == 2
         # The default admm kwarg is resolved before keying, so an explicit
-        # request for the same resolved config hits the cache.
+        # request for the same resolved config hits the cache (no third
+        # checkpoint, same in-memory object).
         explicit = trained_teal(
-            b4_scenario, config=config, admm=AdmmConfig(iterations=12)
+            b4_scenario, config=self._CONFIG, cache_dir=tmp_path,
+            admm=AdmmConfig(iterations=12),
         )
         assert explicit is default
+        assert len(list(tmp_path.glob("teal-*.npz"))) == 2
 
     def test_runs_comparison(self, b4_scenario):
         config = TrainingConfig(steps=4, warm_start_steps=20, log_every=4)

@@ -1,0 +1,431 @@
+"""Tests of the dtype-polymorphic compute substrate (repro.nn.precision).
+
+Three contracts are pinned here:
+
+1. **Dtype preservation** — float32 payloads stay float32 through the
+   tensor substrate, models cast cleanly with ``astype``, and every
+   component's outputs carry the requested storage dtype.
+2. **Fused == naive, bit for bit, at fixed dtype** — the fused
+   inference kernels (preallocated buffers + ufunc ``out=``) compute
+   exactly the elementwise chains of the Tensor path, at float64 *and*
+   float32.
+3. **float32 == float64 at the documented tolerance** — end-to-end
+   allocations (forward + ADMM + acceptance) agree on delivered
+   flow and MLU within 1e-4 relative across schemes and topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.config import AdmmConfig, TrainingConfig
+from repro.core import AdmmFineTuner, TealModel, TealScheme
+from repro.core.batching import (
+    SegmentOps,
+    Workspace,
+    csr_matmul_into,
+    masked_softmax_into,
+    pair_linear_into,
+)
+from repro.exceptions import ReproError
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.precision import (
+    DEFAULT_INFERENCE_PRECISION,
+    FLOAT32,
+    FLOAT64,
+    Precision,
+    resolve_precision,
+)
+from repro.nn.tensor import Parameter, Tensor
+from repro.simulation.evaluator import evaluate_allocations_batch
+
+#: Documented float32-vs-float64 relative tolerance on allocation
+#: quality (delivered flow, MLU) — see README "Precision & performance".
+PARITY_RTOL = 1e-4
+
+
+# ----------------------------------------------------------------------
+# The Precision policy object
+# ----------------------------------------------------------------------
+class TestPrecisionPolicy:
+    def test_dtypes(self):
+        assert FLOAT32.dtype == np.float32
+        assert FLOAT64.dtype == np.float64
+        assert FLOAT32.accumulate_dtype == np.float64
+        assert FLOAT32.itemsize == 4 and FLOAT64.itemsize == 8
+
+    def test_resolve(self):
+        assert resolve_precision(None) is FLOAT64
+        assert resolve_precision(None, default="float32") == FLOAT32
+        assert resolve_precision("float32") == FLOAT32
+        assert resolve_precision(FLOAT32) is FLOAT32
+        assert resolve_precision(np.float32) == FLOAT32
+        assert resolve_precision(np.dtype(np.float64)) == FLOAT64
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ReproError):
+            Precision("float16")
+        with pytest.raises(ReproError):
+            resolve_precision("bfloat16")
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(Precision("float32")) == hash(FLOAT32)
+        assert len({FLOAT32, FLOAT64, Precision("float32")}) == 2
+
+    def test_inference_default_is_float32(self):
+        assert DEFAULT_INFERENCE_PRECISION == FLOAT32
+
+
+# ----------------------------------------------------------------------
+# Dtype preservation in the tensor substrate
+# ----------------------------------------------------------------------
+class TestTensorDtype:
+    def test_payload_dtype_preserved(self):
+        assert Tensor(np.ones(3, dtype=np.float32)).data.dtype == np.float32
+        assert Tensor(np.ones(3, dtype=np.float64)).data.dtype == np.float64
+        # Non-float payloads still convert to the float64 default.
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+        assert Tensor(np.arange(3)).data.dtype == np.float64
+
+    def test_ops_preserve_float32(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        y = F.tanh(x * 2.0 + 1.0)
+        assert y.data.dtype == np.float32
+        z = F.softmax(y, axis=-1)
+        assert z.data.dtype == np.float32
+
+    def test_numpy_scalars_stay_strong(self):
+        """Only *Python* scalars are weak: a float64 numpy scalar (which
+        subclasses float) must promote a float32 tensor, not be rounded
+        into it (NEP 50 semantics)."""
+        x = Tensor(np.ones(3, dtype=np.float32))
+        y = x * np.float64(1e40)
+        assert y.data.dtype == np.float64
+        assert np.all(np.isfinite(y.data))
+        z = x * np.float32(2.0)
+        assert z.data.dtype == np.float32
+
+    def test_backward_grad_dtype_follows_data(self):
+        x = Parameter(np.ones((2, 3), dtype=np.float32))
+        loss = (F.relu(x * 3.0)).sum()
+        loss.backward()
+        assert x.grad is not None
+        assert x.grad.dtype == np.float32
+
+    def test_module_astype_roundtrip(self):
+        layer = Linear(4, 2)
+        layer.astype(np.float32)
+        assert layer.weight.data.dtype == np.float32
+        assert layer.dtype == np.float32
+        out = layer(Tensor(np.ones((5, 4), dtype=np.float32)))
+        assert out.data.dtype == np.float32
+        layer.astype(np.float64)
+        assert layer.dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# Fused kernels == naive elementwise chains (bit-for-bit, fixed dtype)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+class TestFusedKernels:
+    def test_pair_linear_into_matches_functional(self, dtype):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 7, 4)).astype(dtype)
+        b = rng.normal(size=(3, 7, 5)).astype(dtype)
+        w = rng.normal(size=(9, 6)).astype(dtype)
+        bias = rng.normal(size=6).astype(dtype)
+        out = np.empty((3, 7, 6), dtype=dtype)
+        scratch = np.empty_like(out)
+        pair_linear_into(a, b, w, bias, out, scratch)
+        reference = F.pair_linear(Tensor(a), Tensor(b), Tensor(w), Tensor(bias))
+        assert out.dtype == dtype
+        assert np.array_equal(out, reference.numpy())
+
+    def test_masked_softmax_into_matches_functional(self, dtype):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 4)).astype(dtype)
+        mask = rng.random(size=(5, 4)) > 0.3
+        mask[:, 0] = True  # no all-masked rows
+        out = logits.copy()
+        reduce_buf = np.empty((5, 1), dtype=dtype)
+        masked_softmax_into(logits.copy(), ~mask, out, reduce_buf)
+        reference = F.softmax(Tensor(logits), axis=-1, mask=mask)
+        assert out.dtype == dtype
+        assert np.array_equal(out, reference.numpy())
+
+    def test_csr_matmul_into_matches_product(self, dtype):
+        rng = np.random.default_rng(2)
+        dense_full = (rng.random((6, 8)) < 0.4) * rng.normal(size=(6, 8))
+        csr = sp.csr_matrix(dense_full.astype(dtype))
+        x = rng.normal(size=(8, 3)).astype(dtype)
+        out = np.empty((6, 3), dtype=dtype)
+        csr_matmul_into(csr, x, out)
+        assert np.array_equal(out, csr @ x)
+        # Batched operand: one call per batch row, still bit-identical.
+        xb = rng.normal(size=(4, 8, 3)).astype(dtype)
+        outb = np.empty((4, 6, 3), dtype=dtype)
+        csr_matmul_into(csr, xb, outb)
+        expected = np.stack([csr @ xb[i] for i in range(4)])
+        assert np.array_equal(outb, expected)
+
+    def test_model_fused_equals_naive(self, dtype, b4_pathset, b4_trace):
+        model = TealModel(b4_pathset, seed=3).astype(dtype)
+        demands = np.stack(
+            [b4_pathset.demand_volumes(m.values) for m in b4_trace[:4]]
+        )
+        naive = model.split_ratios_batch(demands, fused=False)
+        fused = model.split_ratios_batch(demands, fused=True)
+        assert fused.dtype == dtype
+        assert np.array_equal(naive, fused)
+        one_naive = model.split_ratios(demands[2], fused=False)
+        one_fused = model.split_ratios(demands[2], fused=True)
+        assert np.array_equal(one_naive, one_fused)
+
+    def test_fused_forward_reuses_buffers(self, dtype, b4_pathset, b4_trace):
+        model = TealModel(b4_pathset, seed=0).astype(dtype)
+        demands = np.stack(
+            [b4_pathset.demand_volumes(m.values) for m in b4_trace[:3]]
+        )
+        first = model.split_ratios_batch(demands)
+        count = model.flow_gnn.workspace.num_buffers
+        again = model.split_ratios_batch(demands)
+        assert model.flow_gnn.workspace.num_buffers == count
+        # Reused buffers must not alias the returned allocations.
+        assert np.array_equal(first, again)
+        assert first is not again
+
+
+class TestWorkspace:
+    def test_buffer_identity_and_rekeying(self):
+        ws = Workspace()
+        a = ws.buffer("x", (3, 2), np.float64)
+        assert ws.buffer("x", (3, 2), np.float64) is a
+        b = ws.buffer("x", (3, 2), np.float32)  # dtype switch reallocates
+        assert b is not a and b.dtype == np.float32
+        ws.clear()
+        assert ws.num_buffers == 0
+
+    def test_total_bytes(self):
+        ws = Workspace()
+        ws.buffer("x", (4,), np.float32)
+        assert ws.total_bytes == 16
+
+
+class TestSegmentOpsDtype:
+    def test_sum_storage_dtype(self):
+        ops = SegmentOps(np.array([0, 1, 0, 2]), 3)
+        weights = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        default = ops.sum(weights)
+        assert default.dtype == np.float64  # historic behaviour
+        stored = ops.sum(weights, dtype=np.float32)
+        assert stored.dtype == np.float32
+        assert np.array_equal(stored.astype(np.float64), default)
+
+    def test_max_dtype_follows_values(self):
+        ops = SegmentOps(np.array([0, 0, 1]), 2)
+        values = np.array([[1.0, 5.0, 2.0]], dtype=np.float32)
+        assert ops.max(values).dtype == np.float32
+        assert ops.max(values, dtype=np.float64).dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# ADMM precision
+# ----------------------------------------------------------------------
+class TestAdmmPrecision:
+    def test_single_tm_delegates_to_batch(self, b4_pathset, b4_demands):
+        model = TealModel(b4_pathset, seed=1)
+        ratios = model.split_ratios(b4_demands)
+        tuner = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=6))
+        single = tuner.fine_tune(ratios, b4_demands)
+        batch = tuner.fine_tune_batch(ratios[None], b4_demands[None])
+        assert np.array_equal(single, batch[0])
+
+    def test_float32_output_dtype(self, b4_pathset, b4_demands):
+        model = TealModel(b4_pathset, seed=1)
+        ratios = model.split_ratios(b4_demands)
+        tuner = AdmmFineTuner(
+            b4_pathset, AdmmConfig(iterations=6), precision="float32"
+        )
+        out = tuner.fine_tune(ratios, b4_demands)
+        assert out.dtype == np.float32
+
+    def test_float32_quality_parity(self, b4_pathset, b4_trace):
+        model = TealModel(b4_pathset, seed=2)
+        demands = np.stack(
+            [b4_pathset.demand_volumes(m.values) for m in b4_trace[:4]]
+        )
+        ratios = model.split_ratios_batch(demands)
+        caps = b4_pathset.topology.capacities
+        t64 = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=12))
+        t32 = AdmmFineTuner(
+            b4_pathset, AdmmConfig(iterations=12), precision="float32"
+        )
+        r64 = evaluate_allocations_batch(
+            b4_pathset, t64.fine_tune_batch(ratios, demands), demands, caps
+        )
+        r32 = evaluate_allocations_batch(
+            b4_pathset,
+            t32.fine_tune_batch(ratios, demands).astype(float),
+            demands,
+            caps,
+        )
+        np.testing.assert_allclose(
+            r32.delivered_total, r64.delivered_total, rtol=PARITY_RTOL
+        )
+        np.testing.assert_allclose(
+            r32.max_link_utilization,
+            r64.max_link_utilization,
+            rtol=PARITY_RTOL,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scheme-level float32 vs float64 parity (forward + ADMM + acceptance)
+# ----------------------------------------------------------------------
+_LITE = TrainingConfig(steps=4, warm_start_steps=40, log_every=20)
+
+
+def _parity_case(pathset, trace, objective, use_admm):
+    """Train float64 and float32 twins and compare allocation quality."""
+    matrices = list(trace[:8])
+    demands = np.stack(
+        [pathset.demand_volumes(m.values) for m in trace[8:12]]
+    )
+    schemes = {}
+    for precision in ("float64", "float32"):
+        scheme = TealScheme(
+            pathset,
+            objective=objective,
+            admm=AdmmConfig(iterations=8),
+            seed=0,
+            use_admm=use_admm,
+            precision=precision,
+        )
+        scheme.train(matrices, config=_LITE)
+        schemes[precision] = scheme
+    caps = pathset.topology.capacities
+    reports = {}
+    for precision, scheme in schemes.items():
+        allocations = scheme.allocate_batch(pathset, demands)
+        ratios = np.stack([a.split_ratios for a in allocations]).astype(float)
+        reports[precision] = evaluate_allocations_batch(
+            pathset, ratios, demands, caps
+        )
+    return reports["float64"], reports["float32"]
+
+
+class TestSchemePrecisionParity:
+    @pytest.mark.parametrize("fixture", ["b4_pathset", "small_swan_pathset"])
+    @pytest.mark.parametrize(
+        "objective_name,use_admm",
+        [("total_flow", True), ("min_mlu", False)],
+    )
+    def test_float32_matches_float64(
+        self, request, fixture, objective_name, use_admm
+    ):
+        """Schemes x topologies: quality parity at the documented rtol."""
+        from repro.lp.objectives import get_objective
+        from repro.traffic import TrafficTrace
+
+        pathset = request.getfixturevalue(fixture)
+        trace = TrafficTrace.generate(
+            pathset.topology.num_nodes, 12, seed=17
+        )
+        r64, r32 = _parity_case(
+            pathset, trace, get_objective(objective_name), use_admm
+        )
+        np.testing.assert_allclose(
+            r32.delivered_total, r64.delivered_total, rtol=PARITY_RTOL
+        )
+        np.testing.assert_allclose(
+            r32.max_link_utilization,
+            r64.max_link_utilization,
+            rtol=PARITY_RTOL,
+        )
+
+    def test_training_stays_float64_cast_is_lazy(self, b4_pathset, b4_trace):
+        scheme = TealScheme(b4_pathset, seed=0, precision="float32")
+        scheme.train(
+            list(b4_trace[:4]),
+            config=TrainingConfig(steps=2, warm_start_steps=4, log_every=10),
+        )
+        # Post-training the weights are still full precision (this is
+        # what the harness' on-disk checkpoints store)...
+        assert scheme.model.dtype == np.float64
+        demands = b4_pathset.demand_volumes(b4_trace[5].values)
+        allocation = scheme.allocate(b4_pathset, demands)
+        # ...and the first inference call casts to the scheme precision.
+        assert scheme.model.dtype == np.float32
+        assert allocation.split_ratios.dtype == np.float32
+
+    def test_precision_round_trip_is_lossless(self, b4_pathset, b4_demands):
+        """float64 -> float32 -> float64 restores the exact weights and
+        aggregation matrices (the float64 masters are stashed), so an
+        inference cast never perturbs later training."""
+        model = TealModel(b4_pathset, seed=4)
+        reference_params = [p.data.copy() for p in model.parameters()]
+        reference_scale = model.flow_gnn.edge_scale.copy()
+        reference_out = model.split_ratios(b4_demands)
+
+        model.astype(np.float32).astype(np.float64)
+        for p, ref in zip(model.parameters(), reference_params):
+            assert p.data.dtype == np.float64
+            assert np.array_equal(p.data, ref)
+        assert np.array_equal(model.flow_gnn.edge_scale, reference_scale)
+        assert np.array_equal(model.split_ratios(b4_demands), reference_out)
+
+    def test_transfer_weights_preserves_target_dtype(self, b4_pathset):
+        """A float32-cast donor must not turn a float64 target into a
+        mixed-precision model (regression for the astype early-return)."""
+        from repro.core import transfer_weights
+
+        donor = TealModel(b4_pathset, seed=0).astype(np.float32)
+        target = TealModel(b4_pathset, seed=1)
+        transfer_weights(donor, target)
+        assert all(p.data.dtype == np.float64 for p in target.parameters())
+        assert target.dtype == np.float64
+        assert target.flow_gnn.edge_agg.dtype == np.float64
+        # And astype still repairs a model cast out-of-band.
+        for p in target.parameters():
+            p.data = p.data.astype(np.float32)
+        target.astype(np.float64)
+        assert all(p.data.dtype == np.float64 for p in target.parameters())
+
+    def test_allocate_batch_matches_allocate_at_float32(
+        self, b4_pathset, b4_trace
+    ):
+        scheme = TealScheme(
+            b4_pathset, seed=0, precision="float32",
+            admm=AdmmConfig(iterations=4),
+        )
+        demands = np.stack(
+            [b4_pathset.demand_volumes(m.values) for m in b4_trace[:3]]
+        )
+        batched = scheme.allocate_batch(b4_pathset, demands)
+        for t in range(3):
+            single = scheme.allocate(b4_pathset, demands[t])
+            np.testing.assert_allclose(
+                batched[t].split_ratios, single.split_ratios, atol=1e-6
+            )
+
+
+# ----------------------------------------------------------------------
+# Precision through the sweep grid spec
+# ----------------------------------------------------------------------
+class TestSuitePrecision:
+    def test_default_and_roundtrip(self):
+        from repro.sweep import ScenarioSuite
+
+        suite = ScenarioSuite(topologies=("B4",))
+        assert suite.precision == "float32"
+        explicit = ScenarioSuite(topologies=("B4",), precision="float64")
+        assert ScenarioSuite.from_dict(explicit.to_dict()) == explicit
+
+    def test_invalid_precision_rejected(self):
+        from repro.sweep import ScenarioSuite
+
+        with pytest.raises(ReproError):
+            ScenarioSuite(topologies=("B4",), precision="float16")
