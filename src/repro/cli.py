@@ -7,6 +7,7 @@ Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
     teal-repro failures --topology B4     # Figure 8-style failure sweep
     teal-repro train --topology B4        # train + report a Teal model
     teal-repro sweep --topologies B4 SWAN # cross-topology scenario grid
+    teal-repro analyze grid1.json grid2.json  # aggregate grid analytics
 """
 
 from __future__ import annotations
@@ -143,7 +144,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{suite.num_cells} grid cell(s) [{args.executor}]..."
     )
     result = run_scenario_grid(
-        suite, executor=args.executor, max_workers=args.workers
+        suite,
+        executor=args.executor,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(result.summary_table())
     print(
@@ -155,6 +159,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.output:
         result.to_json(args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .exceptions import ReproError
+    from .sweep.analytics import analyze, format_analytics, load_grid_results
+
+    try:
+        results = load_grid_results(args.inputs)
+        analytics = analyze(
+            results,
+            baseline=args.baseline,
+            accelerated=args.accelerated,
+            sources=args.inputs,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(format_analytics(analytics))
+    try:
+        if args.output:
+            analytics.to_json(args.output)
+            print(f"wrote {args.output}")
+        if args.csv:
+            analytics.to_csv(args.csv)
+            print(f"wrote {args.csv}")
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -234,8 +267,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--output", default=None, help="write the GridResult JSON here"
     )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="persistent scenario/model cache directory: re-runs load "
+        "scenarios and trained Teal checkpoints from disk instead of "
+        "rebuilding/retraining (bit-identical results)",
+    )
     add_precision(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="reduce GridResult JSONs into aggregate curves "
+        "(speedup vs topology size, distributions, phase/precision tables)",
+    )
+    p_analyze.add_argument(
+        "inputs", nargs="+", help="GridResult JSON files (from sweep --output)"
+    )
+    p_analyze.add_argument(
+        "--baseline", default=None,
+        help="baseline scheme for speedup curves "
+        "(default: the suites' first non-accelerated scheme)",
+    )
+    p_analyze.add_argument(
+        "--accelerated", default="Teal",
+        help="accelerated scheme for speedup curves (default Teal)",
+    )
+    p_analyze.add_argument(
+        "--output", default=None, help="write the analytics JSON here"
+    )
+    p_analyze.add_argument(
+        "--csv", default=None, help="write the speedup-curve CSV here"
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -17,7 +17,10 @@ so every trend the figures sweep is reproduced on a CPU budget. Pass
 from __future__ import annotations
 
 import hashlib
+import json
 import math
+import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -120,6 +123,168 @@ class Scenario:
 _SCENARIO_CACHE: dict[tuple, Scenario] = {}
 _TEAL_CACHE: dict[tuple, TealScheme] = {}
 
+#: On-disk scenario cache format; bump on layout changes so stale
+#: entries from older library versions rebuild instead of misloading.
+SCENARIO_CACHE_FORMAT = 1
+
+
+def scenario_cache_path(cache_dir: str | Path, key: tuple) -> Path:
+    """On-disk path of a scenario cache entry.
+
+    The filename is a content hash of the full ``build_scenario``
+    parameter tuple (name, scale, seed, max_pairs, splits, headroom), so
+    every distinct scenario configuration gets its own entry. The key is
+    also stored *inside* the entry and verified on load — a hash-prefix
+    collision falls back to a rebuild instead of returning the wrong
+    workload.
+    """
+    token = hashlib.sha256(repr(key).encode()).hexdigest()[:20]
+    return Path(cache_dir) / f"scenario-{token}.npz"
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> Path:
+    """Persist a scenario as one ``.npz`` archive.
+
+    Stores the raw inputs of the :class:`Scenario` — provisioned
+    topology arrays, demand pairs, candidate path node lists, and the
+    train/validation/test matrix stacks — rather than derived structures
+    (CSR incidence, segment indices): :class:`~repro.paths.pathset.PathSet`
+    recomputes those deterministically, so a load rebuilds the scenario
+    bit for bit while the archive stays compact. The write is atomic
+    (temp file + rename), so a crashed or concurrent writer can never
+    leave a truncated entry behind.
+
+    Args:
+        scenario: The scenario to persist.
+        path: Destination path.
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    topology = scenario.topology
+    pathset = scenario.pathset
+    split = scenario.split
+    meta = {
+        "format": SCENARIO_CACHE_FORMAT,
+        "key": list(scenario.build_key),
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "topology_name": topology.name,
+        "num_nodes": topology.num_nodes,
+        "node_names": {str(k): v for k, v in topology.node_names.items()},
+        "max_paths": pathset.max_paths,
+        "intervals": {
+            part: [m.interval for m in getattr(split, part)]
+            for part in ("train", "validation", "test")
+        },
+    }
+    arrays = {
+        "edges": np.array(topology.edges, dtype=np.int64).reshape(-1, 2),
+        "capacities": topology.capacities,
+        "latencies": topology.latencies,
+        "pairs": np.array(pathset.pairs, dtype=np.int64).reshape(-1, 2),
+        "path_nodes": (
+            np.concatenate(
+                [np.asarray(p, dtype=np.int64) for p in pathset.path_nodes]
+            )
+            if pathset.path_nodes
+            else np.zeros(0, dtype=np.int64)
+        ),
+        "path_lengths": np.array(
+            [len(p) for p in pathset.path_nodes], dtype=np.int64
+        ),
+        "path_demand": pathset.path_demand,
+    }
+    for part in ("train", "validation", "test"):
+        arrays[part] = np.stack([m.values for m in getattr(split, part)])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def load_scenario(path: str | Path, expected_key: tuple | None = None) -> Scenario:
+    """Load a scenario written by :func:`save_scenario`.
+
+    The rebuilt scenario is bit-identical to the one that was saved:
+    topology/capacity/latency arrays round-trip exactly through ``.npz``
+    and the path-set's derived structures are recomputed by the same
+    deterministic constructor.
+
+    Args:
+        path: The ``.npz`` entry.
+        expected_key: If given, the full ``build_scenario`` key the entry
+            must have been stored under (guards against hash collisions).
+
+    Raises:
+        ReproError: On unreadable files, format/key mismatches, or
+            malformed contents (the cache treats all of these as a miss).
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("format") != SCENARIO_CACHE_FORMAT:
+                raise ReproError(
+                    f"unsupported scenario cache format {meta.get('format')!r}"
+                )
+            key = tuple(meta["key"])
+            if expected_key is not None and key != tuple(expected_key):
+                raise ReproError(
+                    f"scenario cache key mismatch in {path}: "
+                    f"stored {key!r}, expected {tuple(expected_key)!r}"
+                )
+            topology = Topology(
+                num_nodes=int(meta["num_nodes"]),
+                edges=[(int(u), int(v)) for u, v in archive["edges"]],
+                capacities=archive["capacities"],
+                latencies=archive["latencies"],
+                name=str(meta["topology_name"]),
+                node_names={
+                    int(k): str(v) for k, v in meta.get("node_names", {}).items()
+                },
+            )
+            pairs = [(int(s), int(t)) for s, t in archive["pairs"]]
+            lengths = archive["path_lengths"]
+            offsets = np.concatenate(([0], np.cumsum(lengths)))
+            flat = archive["path_nodes"]
+            paths_per_demand: list[list[list[int]]] = [[] for _ in pairs]
+            for pid, demand in enumerate(archive["path_demand"]):
+                nodes = flat[offsets[pid] : offsets[pid + 1]].tolist()
+                paths_per_demand[int(demand)].append(nodes)
+            pathset = PathSet(
+                topology, pairs, paths_per_demand,
+                max_paths=int(meta["max_paths"]),
+            )
+            parts = {}
+            for part in ("train", "validation", "test"):
+                values = archive[part]
+                intervals = meta["intervals"][part]
+                parts[part] = [
+                    TrafficMatrix(values[i], interval=int(intervals[i]))
+                    for i in range(values.shape[0])
+                ]
+            return Scenario(
+                name=str(meta["name"]),
+                topology=topology,
+                pathset=pathset,
+                split=TraceSplit(**parts),
+                seed=int(meta["seed"]),
+                build_key=key,
+            )
+    except ReproError:
+        raise
+    except Exception as error:  # corrupted/truncated/foreign file
+        raise ReproError(
+            f"cannot read scenario cache entry {path}: {error}"
+        ) from error
+
 
 def build_scenario(
     name: str,
@@ -131,6 +296,7 @@ def build_scenario(
     test: int = 16,
     headroom: float = 0.9,
     use_cache: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> Scenario:
     """Build (or fetch from cache) a benchmark scenario.
 
@@ -145,6 +311,16 @@ def build_scenario(
         test: Test matrices.
         headroom: Capacity-provisioning headroom over shortest-path load.
         use_cache: Reuse an identical previously built scenario.
+        cache_dir: Optional persistent cache directory (the tier next to
+            :func:`trained_teal`'s model checkpoints). When set, built
+            scenarios are stored as ``.npz`` entries keyed by the full
+            parameter tuple (see :func:`scenario_cache_path`) and later
+            calls — including fresh processes, repeated grid cells, and
+            CI re-runs — skip topology generation, k-shortest-path
+            enumeration, and trace synthesis by loading the entry. A hit
+            reproduces the rebuilt scenario bit for bit; an unreadable
+            or mismatched entry falls back to a rebuild (with a
+            ``RuntimeWarning``) and overwrites the bad entry.
 
     Returns:
         A :class:`Scenario`.
@@ -158,8 +334,29 @@ def build_scenario(
     if scale is None:
         scale = BENCH_SCALES.get(name, 1.0)
     key = (name, scale, seed, max_pairs, train, validation, test, headroom)
+    entry = scenario_cache_path(cache_dir, key) if cache_dir is not None else None
     if use_cache and key in _SCENARIO_CACHE:
-        return _SCENARIO_CACHE[key]
+        scenario = _SCENARIO_CACHE[key]
+        if entry is not None and not entry.exists():
+            # The caller asked for persistence after an in-memory hit:
+            # materialize the on-disk entry now.
+            save_scenario(scenario, entry)
+        return scenario
+    # Disk tier: use_cache=False means "do not reuse" here too — build
+    # fresh and overwrite the stored entry instead of loading it.
+    if use_cache and entry is not None and entry.exists():
+        try:
+            scenario = load_scenario(entry, expected_key=key)
+        except ReproError as error:
+            warnings.warn(
+                f"scenario cache entry {entry} is unusable ({error}); "
+                "rebuilding",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            _SCENARIO_CACHE[key] = scenario
+            return scenario
 
     topology = get_topology(name, scale=scale, seed=seed)
     trace = TrafficTrace.generate(
@@ -191,6 +388,8 @@ def build_scenario(
     )
     if use_cache:
         _SCENARIO_CACHE[key] = scenario
+    if entry is not None:
+        save_scenario(scenario, entry)
     return scenario
 
 

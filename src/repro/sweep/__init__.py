@@ -3,9 +3,26 @@
 Declare a grid as a :class:`ScenarioSuite`, run it (serially or with
 concurrent per-topology workers) via :func:`run_scenario_grid`, and get
 back a JSON-serializable :class:`GridResult` of per-cell
-:class:`~repro.simulation.metrics.SchemeRun` records.
+:class:`~repro.simulation.metrics.SchemeRun` records. The
+:mod:`~repro.sweep.analytics` layer reduces one-or-many saved results
+into the paper's aggregate curves (speedup vs topology size, satisfied
+demand by failure level, phase-time breakdowns, precision tables).
 """
 
+from .analytics import (
+    GridAnalytics,
+    PhaseBreakdown,
+    PrecisionComparison,
+    SchemeDistribution,
+    SpeedupPoint,
+    analyze,
+    format_analytics,
+    load_grid_results,
+    phase_breakdown,
+    precision_table,
+    scheme_distributions,
+    speedup_curve,
+)
 from .grid import (
     EXECUTORS,
     GridCell,
@@ -18,10 +35,22 @@ from .grid import (
 
 __all__ = [
     "EXECUTORS",
+    "GridAnalytics",
     "GridCell",
     "GridResult",
+    "PhaseBreakdown",
+    "PrecisionComparison",
     "ScenarioSuite",
+    "SchemeDistribution",
+    "SpeedupPoint",
+    "analyze",
     "cell_seed",
+    "format_analytics",
+    "load_grid_results",
+    "phase_breakdown",
+    "precision_table",
     "run_scenario_grid",
+    "scheme_distributions",
     "single_topology",
+    "speedup_curve",
 ]

@@ -1,0 +1,623 @@
+"""Grid analytics: reduce :class:`GridResult` records into paper curves.
+
+A scenario grid produces one JSON blob per run; the paper's headline
+claims live *across* runs — Teal's speedup over the LP baselines grows
+with topology size (Figures 4-5), satisfied demand degrades gracefully
+with failures (Figures 8-9), and float32 inference tracks float64 at a
+fraction of the cost. This module loads one-or-many ``GridResult`` JSONs
+(different PRs, precisions, or topology subsets) and reduces them into
+typed aggregate records:
+
+- :func:`speedup_curve` — speedup-vs-topology-size points, the Figure
+  4-5 shape, one :class:`SpeedupPoint` per (topology, size, precision).
+- :func:`scheme_distributions` — satisfied-demand / objective-value
+  distributions per scheme x failure level (Figure 7b/8 shapes). Under
+  the ``min_mlu`` objective the objective column *is* the MLU.
+- :func:`phase_breakdown` — build / train / sweep wall-clock shares per
+  topology (the Table 2 shape for the offline pipeline).
+- :func:`precision_table` — float32-vs-float64 speedup and quality
+  parity per topology, for result sets spanning both precisions.
+
+:func:`analyze` bundles all four into a :class:`GridAnalytics` record
+with stable JSON and CSV exports; ``repro.cli analyze`` is the shell
+entry point. All reductions are pure functions of the loaded results —
+re-running them on the same JSONs is bit-stable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..exceptions import ReproError
+from .grid import GridResult
+
+#: Scheme treated as the learning-accelerated side of speedup curves.
+DEFAULT_ACCELERATED = "Teal"
+
+
+def load_grid_results(paths: list[str | os.PathLike]) -> list["GridResult"]:
+    """Load ``GridResult`` JSONs written by :meth:`GridResult.to_json`.
+
+    Args:
+        paths: One or more JSON file paths.
+
+    Returns:
+        The decoded results, in input order.
+
+    Raises:
+        ReproError: If a file is missing, unreadable, or not a
+            well-formed ``GridResult`` document.
+    """
+    if not paths:
+        raise ReproError("no grid result files given")
+    results: list[GridResult] = []
+    for path in paths:
+        try:
+            results.append(GridResult.from_json(path))
+        except OSError as error:
+            raise ReproError(
+                f"cannot read grid result {os.fspath(path)!r}: {error}"
+            ) from error
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed grid result {os.fspath(path)!r}: {error}"
+            ) from error
+    return results
+
+
+# ----------------------------------------------------------------------
+# Typed aggregate records
+# ----------------------------------------------------------------------
+class _Record:
+    """Shared to_dict/from_dict for the frozen aggregate dataclasses.
+
+    ``from_dict`` drops unknown keys, so analytics JSONs written by
+    newer library versions (extra fields) stay loadable by this one —
+    the same forward-compatibility rule :meth:`ScenarioSuite.from_dict`
+    follows.
+    """
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict):
+        """Rebuild a record from :meth:`to_dict` output."""
+        names = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in record.items() if k in names})
+
+
+@dataclass(frozen=True)
+class SpeedupPoint(_Record):
+    """One point of the speedup-vs-topology-size curve (Figures 4-5).
+
+    Aggregates every grid cell of one (topology, size, precision) group
+    across the loaded results: all seeds, failure levels, and traffic
+    matrices pool into the two per-scheme mean compute times.
+    """
+
+    topology: str
+    num_nodes: int
+    num_edges: int
+    num_demands: int
+    precision: str
+    baseline: str
+    accelerated: str
+    baseline_mean_time: float
+    accelerated_mean_time: float
+    speedup: float
+    num_samples: int
+
+
+@dataclass(frozen=True)
+class SchemeDistribution(_Record):
+    """Satisfied-demand / objective distribution of one scheme x failure level."""
+
+    scheme: str
+    failure_count: int
+    num_samples: int
+    mean_satisfied: float
+    p10_satisfied: float
+    p50_satisfied: float
+    p90_satisfied: float
+    min_satisfied: float
+    max_satisfied: float
+    mean_objective: float
+    mean_compute_time: float
+    p90_compute_time: float
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown(_Record):
+    """Mean build/train/sweep wall-clock of one topology's grid jobs."""
+
+    topology: str
+    num_nodes: int
+    num_jobs: int
+    build_seconds: float
+    train_seconds: float
+    sweep_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of the per-phase means."""
+        return self.build_seconds + self.train_seconds + self.sweep_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        record = asdict(self)
+        record["total_seconds"] = self.total_seconds
+        return record
+
+
+@dataclass(frozen=True)
+class PrecisionComparison(_Record):
+    """float32-vs-float64 speedup and parity for one topology.
+
+    Only produced when the loaded results span both precisions.
+    ``max_satisfied_rel_diff`` is the worst relative disagreement of any
+    scheme's mean satisfied demand between the two precision runs — the
+    quality-parity figure the documented 1e-4 tolerance bounds.
+    """
+
+    topology: str
+    num_nodes: int
+    scheme: str
+    float32_mean_time: float
+    float64_mean_time: float
+    speedup: float
+    max_satisfied_rel_diff: float
+
+
+# ----------------------------------------------------------------------
+# Grouping helpers
+# ----------------------------------------------------------------------
+def _job_sizes(result: GridResult) -> dict[tuple[str, int], dict]:
+    """(topology, seed) -> timing record (carries the instance sizes)."""
+    return {(t["topology"], t["seed"]): t for t in result.timings}
+
+
+def _size_groups(
+    results: list[GridResult],
+) -> dict[tuple[str, int], list[tuple[GridResult, object, dict]]]:
+    """Group (result, cell, job timing) triples by (topology, num_nodes).
+
+    Two results may run the same topology name at different scales; the
+    node count keeps those distinct points on the size axis instead of
+    silently averaging them. The cell's job timing record rides along so
+    downstream reductions read instance sizes without re-deriving the
+    per-result timing index.
+    """
+    groups: dict[tuple[str, int], list[tuple[GridResult, object, dict]]] = {}
+    for result in results:
+        sizes = _job_sizes(result)
+        for cell in result.cells:
+            timing = sizes.get((cell.topology, cell.seed))
+            if timing is None:
+                continue  # a result missing its timing rows has no size axis
+            key = (cell.topology, int(timing["num_nodes"]))
+            groups.setdefault(key, []).append((result, cell, timing))
+    return groups
+
+
+def _mean_size(
+    entries: list[tuple[GridResult, object, dict]], field_name: str
+) -> int:
+    """Mean instance-size field over a group's job timing records."""
+    return int(
+        round(float(np.mean([int(t[field_name]) for _, _, t in entries])))
+    )
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def speedup_curve(
+    results: list[GridResult],
+    baseline: str | None = None,
+    accelerated: str = DEFAULT_ACCELERATED,
+) -> list[SpeedupPoint]:
+    """Speedup-vs-topology-size points across the loaded results.
+
+    Args:
+        results: Loaded grid results.
+        baseline: Baseline scheme name (default: the first non-accelerated
+            scheme declared by the results' suites).
+        accelerated: Accelerated scheme name (default ``"Teal"``).
+
+    Returns:
+        One point per (topology, node count, precision) with both schemes
+        present, sorted by node count then topology then precision.
+
+    Raises:
+        ReproError: If no baseline can be resolved or no group contains
+            both schemes.
+    """
+    baseline = resolve_baseline(results, baseline, accelerated)
+    points: list[SpeedupPoint] = []
+    for (topology, num_nodes), entries in _size_groups(results).items():
+        num_edges = _mean_size(entries, "num_edges")
+        num_demands = _mean_size(entries, "num_demands")
+        by_precision: dict[str, dict[str, list[float]]] = {}
+        for result, cell, _ in entries:
+            if cell.scheme not in (baseline, accelerated):
+                continue
+            times = by_precision.setdefault(
+                result.suite.precision, {baseline: [], accelerated: []}
+            )
+            times[cell.scheme].extend(cell.run.compute_times)
+        for precision, times in sorted(by_precision.items()):
+            base_times, accel_times = times[baseline], times[accelerated]
+            if not base_times or not accel_times:
+                continue
+            base_mean = float(np.mean(base_times))
+            accel_mean = float(np.mean(accel_times))
+            if accel_mean <= 0:
+                continue
+            points.append(
+                SpeedupPoint(
+                    topology=topology,
+                    num_nodes=num_nodes,
+                    num_edges=num_edges,
+                    num_demands=num_demands,
+                    precision=precision,
+                    baseline=baseline,
+                    accelerated=accelerated,
+                    baseline_mean_time=base_mean,
+                    accelerated_mean_time=accel_mean,
+                    speedup=base_mean / accel_mean,
+                    num_samples=len(accel_times),
+                )
+            )
+    if not points:
+        raise ReproError(
+            f"no grid cells pair {baseline!r} with {accelerated!r}; "
+            "cannot build a speedup curve"
+        )
+    return sorted(points, key=lambda p: (p.num_nodes, p.topology, p.precision))
+
+
+def resolve_baseline(
+    results: list[GridResult],
+    baseline: str | None,
+    accelerated: str = DEFAULT_ACCELERATED,
+) -> str:
+    """The baseline scheme name: explicit, or the suites' first non-accelerated."""
+    if baseline is not None:
+        return baseline
+    for result in results:
+        for name in result.suite.schemes:
+            if name != accelerated:
+                return name
+    raise ReproError(
+        f"results declare no scheme besides {accelerated!r}; "
+        "pass an explicit baseline"
+    )
+
+
+def scheme_distributions(results: list[GridResult]) -> list[SchemeDistribution]:
+    """Per (scheme, failure level) satisfied/objective distributions.
+
+    Pools every matching cell's per-matrix samples across topologies,
+    seeds, and results — the Figure 7b/8 aggregation. Under the
+    ``min_mlu`` objective the objective column is the MLU distribution.
+    """
+    groups: dict[tuple[str, int], dict[str, list[float]]] = {}
+    for result in results:
+        for cell in result.cells:
+            samples = groups.setdefault(
+                (cell.scheme, cell.failure_count),
+                {"satisfied": [], "objective": [], "time": []},
+            )
+            samples["satisfied"].extend(cell.run.satisfied)
+            samples["objective"].extend(cell.run.objective_values)
+            samples["time"].extend(cell.run.compute_times)
+    out: list[SchemeDistribution] = []
+    for (scheme, count), samples in sorted(groups.items()):
+        satisfied = np.asarray(samples["satisfied"], dtype=float)
+        times = np.asarray(samples["time"], dtype=float)
+        if satisfied.size == 0:
+            continue
+        out.append(
+            SchemeDistribution(
+                scheme=scheme,
+                failure_count=count,
+                num_samples=int(satisfied.size),
+                mean_satisfied=float(satisfied.mean()),
+                p10_satisfied=float(np.percentile(satisfied, 10)),
+                p50_satisfied=float(np.percentile(satisfied, 50)),
+                p90_satisfied=float(np.percentile(satisfied, 90)),
+                min_satisfied=float(satisfied.min()),
+                max_satisfied=float(satisfied.max()),
+                mean_objective=float(np.mean(samples["objective"]))
+                if samples["objective"]
+                else 0.0,
+                mean_compute_time=float(times.mean()) if times.size else 0.0,
+                p90_compute_time=float(np.percentile(times, 90))
+                if times.size
+                else 0.0,
+            )
+        )
+    return out
+
+
+def phase_breakdown(results: list[GridResult]) -> list[PhaseBreakdown]:
+    """Mean build/train/sweep seconds per (topology, size) across results."""
+    groups: dict[tuple[str, int], list[dict]] = {}
+    for result in results:
+        for timing in result.timings:
+            key = (timing["topology"], int(timing["num_nodes"]))
+            groups.setdefault(key, []).append(timing)
+    out: list[PhaseBreakdown] = []
+    for (topology, num_nodes), timings in groups.items():
+        out.append(
+            PhaseBreakdown(
+                topology=topology,
+                num_nodes=num_nodes,
+                num_jobs=len(timings),
+                build_seconds=float(
+                    np.mean([t["build_seconds"] for t in timings])
+                ),
+                train_seconds=float(
+                    np.mean([t["train_seconds"] for t in timings])
+                ),
+                sweep_seconds=float(
+                    np.mean([t["sweep_seconds"] for t in timings])
+                ),
+            )
+        )
+    return sorted(out, key=lambda p: (p.num_nodes, p.topology))
+
+
+def precision_table(
+    results: list[GridResult],
+    accelerated: str = DEFAULT_ACCELERATED,
+) -> list[PrecisionComparison]:
+    """float32-vs-float64 speedup/parity rows per topology.
+
+    Empty unless the loaded results span both precisions for at least
+    one (topology, size) group.
+    """
+    groups = _size_groups(results)
+    out: list[PrecisionComparison] = []
+    for (topology, num_nodes), entries in groups.items():
+        # scheme -> precision -> pooled samples
+        times: dict[str, dict[str, list[float]]] = {}
+        satisfied: dict[str, dict[str, list[float]]] = {}
+        for result, cell, _ in entries:
+            precision = result.suite.precision
+            times.setdefault(cell.scheme, {}).setdefault(precision, []).extend(
+                cell.run.compute_times
+            )
+            satisfied.setdefault(cell.scheme, {}).setdefault(
+                precision, []
+            ).extend(cell.run.satisfied)
+        accel = times.get(accelerated, {})
+        if not {"float32", "float64"} <= set(accel):
+            continue
+        t32 = float(np.mean(accel["float32"]))
+        t64 = float(np.mean(accel["float64"]))
+        # Parity: worst per-scheme relative disagreement of mean satisfied.
+        worst = 0.0
+        for scheme, per_precision in satisfied.items():
+            if not {"float32", "float64"} <= set(per_precision):
+                continue
+            m32 = float(np.mean(per_precision["float32"]))
+            m64 = float(np.mean(per_precision["float64"]))
+            scale = max(abs(m64), 1e-12)
+            worst = max(worst, abs(m32 - m64) / scale)
+        out.append(
+            PrecisionComparison(
+                topology=topology,
+                num_nodes=num_nodes,
+                scheme=accelerated,
+                float32_mean_time=t32,
+                float64_mean_time=t64,
+                speedup=t64 / t32 if t32 > 0 else float("nan"),
+                max_satisfied_rel_diff=worst,
+            )
+        )
+    return sorted(out, key=lambda p: (p.num_nodes, p.topology))
+
+
+# ----------------------------------------------------------------------
+# The bundled analytics record
+# ----------------------------------------------------------------------
+@dataclass
+class GridAnalytics:
+    """All grid reductions of one result set, with JSON/CSV exports."""
+
+    baseline: str
+    accelerated: str
+    sources: list[str] = field(default_factory=list)
+    num_results: int = 0
+    num_cells: int = 0
+    objectives: list[str] = field(default_factory=list)
+    precisions: list[str] = field(default_factory=list)
+    curve: list[SpeedupPoint] = field(default_factory=list)
+    distributions: list[SchemeDistribution] = field(default_factory=list)
+    phases: list[PhaseBreakdown] = field(default_factory=list)
+    precision: list[PrecisionComparison] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "baseline": self.baseline,
+            "accelerated": self.accelerated,
+            "sources": list(self.sources),
+            "num_results": self.num_results,
+            "num_cells": self.num_cells,
+            "objectives": list(self.objectives),
+            "precisions": list(self.precisions),
+            "curve": [p.to_dict() for p in self.curve],
+            "distributions": [d.to_dict() for d in self.distributions],
+            "phases": [p.to_dict() for p in self.phases],
+            "precision": [p.to_dict() for p in self.precision],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "GridAnalytics":
+        """Rebuild analytics from :meth:`to_dict` output."""
+        return cls(
+            baseline=record["baseline"],
+            accelerated=record["accelerated"],
+            sources=list(record.get("sources", [])),
+            num_results=int(record.get("num_results", 0)),
+            num_cells=int(record.get("num_cells", 0)),
+            objectives=list(record.get("objectives", [])),
+            precisions=list(record.get("precisions", [])),
+            curve=[SpeedupPoint.from_dict(p) for p in record.get("curve", [])],
+            distributions=[
+                SchemeDistribution.from_dict(d)
+                for d in record.get("distributions", [])
+            ],
+            phases=[
+                PhaseBreakdown.from_dict(p) for p in record.get("phases", [])
+            ],
+            precision=[
+                PrecisionComparison.from_dict(p)
+                for p in record.get("precision", [])
+            ],
+        )
+
+    def to_json(self, path: str | os.PathLike) -> None:
+        """Write the analytics as an indented JSON file."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str | os.PathLike) -> "GridAnalytics":
+        """Load analytics written by :meth:`to_json`."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    #: Column order of the CSV export (one speedup-curve row per line).
+    CSV_COLUMNS = (
+        "topology",
+        "num_nodes",
+        "num_edges",
+        "num_demands",
+        "precision",
+        "baseline",
+        "accelerated",
+        "baseline_mean_time",
+        "accelerated_mean_time",
+        "speedup",
+        "num_samples",
+    )
+
+    def to_csv(self, path: str | os.PathLike) -> None:
+        """Write the speedup curve as CSV (stable column order)."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.CSV_COLUMNS)
+            writer.writeheader()
+            for point in self.curve:
+                writer.writerow(
+                    {name: getattr(point, name) for name in self.CSV_COLUMNS}
+                )
+
+
+def analyze(
+    results: list[GridResult],
+    baseline: str | None = None,
+    accelerated: str = DEFAULT_ACCELERATED,
+    sources: list[str | os.PathLike] | None = None,
+) -> GridAnalytics:
+    """Reduce loaded grid results into one :class:`GridAnalytics` record.
+
+    Args:
+        results: Loaded results (see :func:`load_grid_results`).
+        baseline: Baseline scheme for the speedup curve (default: the
+            suites' first non-accelerated scheme).
+        accelerated: Accelerated scheme name (default ``"Teal"``).
+        sources: Optional provenance strings (file paths) recorded in the
+            output.
+
+    Raises:
+        ReproError: If the result list is empty or no speedup pairing
+            exists.
+    """
+    if not results:
+        raise ReproError("no grid results to analyze")
+    baseline = resolve_baseline(results, baseline, accelerated)
+    objectives = sorted({r.suite.objective for r in results})
+    precisions = sorted({r.suite.precision for r in results})
+    return GridAnalytics(
+        baseline=baseline,
+        accelerated=accelerated,
+        sources=[os.fspath(s) for s in sources or []],
+        num_results=len(results),
+        num_cells=sum(len(r.cells) for r in results),
+        objectives=objectives,
+        precisions=precisions,
+        curve=speedup_curve(results, baseline, accelerated),
+        distributions=scheme_distributions(results),
+        phases=phase_breakdown(results),
+        precision=precision_table(results, accelerated),
+    )
+
+
+def format_analytics(analytics: GridAnalytics) -> str:
+    """Human-readable report of one analytics record (CLI output)."""
+    lines = [
+        f"grid analytics: {analytics.num_results} result(s), "
+        f"{analytics.num_cells} cells, "
+        f"objectives={'/'.join(analytics.objectives)}, "
+        f"precisions={'/'.join(analytics.precisions)}",
+        "",
+        f"speedup vs topology size ({analytics.accelerated} over "
+        f"{analytics.baseline}):",
+        f"{'topology':<12} {'nodes':>6} {'demands':>8} {'prec':>8} "
+        f"{'base (s)':>10} {'accel (s)':>10} {'speedup':>8}",
+    ]
+    for p in analytics.curve:
+        lines.append(
+            f"{p.topology:<12} {p.num_nodes:>6} {p.num_demands:>8} "
+            f"{p.precision:>8} {p.baseline_mean_time:>10.4f} "
+            f"{p.accelerated_mean_time:>10.4f} {p.speedup:>7.1f}x"
+        )
+    lines += [
+        "",
+        "satisfied demand per scheme x failure level:",
+        f"{'scheme':<12} {'fails':>5} {'n':>5} {'mean':>7} {'p10':>7} "
+        f"{'p50':>7} {'p90':>7}",
+    ]
+    for d in analytics.distributions:
+        lines.append(
+            f"{d.scheme:<12} {d.failure_count:>5} {d.num_samples:>5} "
+            f"{d.mean_satisfied:>6.1%} {d.p10_satisfied:>6.1%} "
+            f"{d.p50_satisfied:>6.1%} {d.p90_satisfied:>6.1%}"
+        )
+    lines += [
+        "",
+        "phase breakdown (mean seconds per job):",
+        f"{'topology':<12} {'nodes':>6} {'jobs':>5} {'build':>8} "
+        f"{'train':>8} {'sweep':>8} {'total':>8}",
+    ]
+    for p in analytics.phases:
+        lines.append(
+            f"{p.topology:<12} {p.num_nodes:>6} {p.num_jobs:>5} "
+            f"{p.build_seconds:>8.3f} {p.train_seconds:>8.3f} "
+            f"{p.sweep_seconds:>8.3f} {p.total_seconds:>8.3f}"
+        )
+    if analytics.precision:
+        lines += [
+            "",
+            "float32 vs float64 (accelerated scheme):",
+            f"{'topology':<12} {'nodes':>6} {'f32 (s)':>10} {'f64 (s)':>10} "
+            f"{'speedup':>8} {'max rel diff':>13}",
+        ]
+        for p in analytics.precision:
+            lines.append(
+                f"{p.topology:<12} {p.num_nodes:>6} "
+                f"{p.float32_mean_time:>10.4f} {p.float64_mean_time:>10.4f} "
+                f"{p.speedup:>7.2f}x {p.max_satisfied_rel_diff:>13.2e}"
+            )
+    return "\n".join(lines)

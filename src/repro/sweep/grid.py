@@ -29,7 +29,7 @@ import os
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from ..config import TE_INTERVAL_SECONDS, TrainingConfig
 from ..exceptions import ReproError
@@ -146,10 +146,24 @@ class ScenarioSuite:
 
     @classmethod
     def from_dict(cls, record: dict) -> "ScenarioSuite":
-        """Rebuild a suite from :meth:`to_dict` output."""
-        record = dict(record)
+        """Rebuild a suite from :meth:`to_dict` output.
+
+        Unknown keys are dropped rather than rejected: a result written
+        by a newer library version (extra suite fields) stays loadable
+        by this one, which is what lets grid analytics aggregate
+        ``GridResult`` JSONs across PRs.
+        """
+        names = {f.name for f in fields(cls)}
+        record = {k: v for k, v in record.items() if k in names}
         if record.get("training") is not None:
-            record["training"] = TrainingConfig(**record["training"])
+            training_names = {f.name for f in fields(TrainingConfig)}
+            record["training"] = TrainingConfig(
+                **{
+                    k: v
+                    for k, v in record["training"].items()
+                    if k in training_names
+                }
+            )
         return cls(**record)
 
 
@@ -304,12 +318,19 @@ def _online_to_scheme_run(name: str, result) -> tuple[SchemeRun, dict]:
 
 
 def _run_topology_job(
-    suite: ScenarioSuite, topology: str, seed: int
+    suite: ScenarioSuite,
+    topology: str,
+    seed: int,
+    cache_dir: str | None = None,
 ) -> tuple[list[GridCell], dict]:
     """Build, train, and sweep one (topology, seed) grid job.
 
     Module-level (not a closure) so process-pool workers can import it;
-    all inputs/outputs are picklable dataclasses.
+    all inputs/outputs are picklable dataclasses. ``cache_dir`` enables
+    the harness' persistent tiers: scenarios load from the on-disk
+    scenario cache (skipping topology generation, k-shortest-path
+    enumeration, and trace synthesis) and Teal models load from the
+    checkpoint cache instead of retraining.
     """
     from .. import harness
     from ..lp.objectives import get_objective
@@ -327,6 +348,7 @@ def _run_topology_job(
         validation=suite.validation,
         test=suite.test,
         headroom=suite.headroom,
+        cache_dir=cache_dir,
     )
     build_seconds = time.perf_counter() - start
 
@@ -347,6 +369,7 @@ def _run_topology_job(
             config=suite.training,
             seed=seed,
             precision=suite.precision,
+            cache_dir=cache_dir,
         )
         train_seconds = time.perf_counter() - start
     schemes = {name: schemes[name] for name in suite.schemes}
@@ -428,6 +451,7 @@ def run_scenario_grid(
     suite: ScenarioSuite,
     executor: str = "serial",
     max_workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
 ) -> GridResult:
     """Run a scenario grid, optionally with concurrent topology workers.
 
@@ -445,6 +469,13 @@ def run_scenario_grid(
         executor: ``"serial"``, ``"thread"``, or ``"process"``.
         max_workers: Pool width (default: one per job, capped at the
             CPU count).
+        cache_dir: Optional persistent cache directory shared by every
+            job: scenarios and trained Teal models are stored on disk
+            (see :func:`repro.harness.build_scenario` and
+            :func:`repro.harness.trained_teal`), so repeated grid cells
+            and re-runs — including fresh processes — skip rebuilds and
+            retraining. A cache hit reproduces the rebuilt scenario bit
+            for bit, so cached grids equal cold grids exactly.
 
     Returns:
         A :class:`GridResult`.
@@ -456,10 +487,11 @@ def run_scenario_grid(
         raise ReproError(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}"
         )
+    cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
     jobs = suite.jobs()
     start = time.perf_counter()
     if executor == "serial":
-        outputs = [_run_topology_job(suite, t, s) for t, s in jobs]
+        outputs = [_run_topology_job(suite, t, s, cache_dir) for t, s in jobs]
         workers = 1
     else:
         pool_cls = (
@@ -467,7 +499,10 @@ def run_scenario_grid(
         )
         workers = max_workers or min(len(jobs), os.cpu_count() or 1)
         with pool_cls(max_workers=workers) as pool:
-            futures = [pool.submit(_run_topology_job, suite, t, s) for t, s in jobs]
+            futures = [
+                pool.submit(_run_topology_job, suite, t, s, cache_dir)
+                for t, s in jobs
+            ]
             outputs = [future.result() for future in futures]
     total_seconds = time.perf_counter() - start
 

@@ -1,0 +1,83 @@
+"""Regenerate the checked-in mini ``GridResult`` fixtures.
+
+The two JSONs under this directory are hand-computable grid results used
+by ``tests/test_grid_analytics.py`` and the CI ``repro.cli analyze``
+smoke: together they cover the paper's size ladder (B4 < SWAN <
+UsCarrier < Kdl) with round-number compute times, so the expected
+speedup curve is 20x/25x/30x/40x by construction.
+
+Run from the repo root to refresh them::
+
+    PYTHONPATH=src python tests/fixtures/make_grid_fixtures.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.simulation.metrics import SchemeRun
+from repro.sweep import GridCell, GridResult, ScenarioSuite
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: topology -> (num_nodes, num_edges, num_demands, LP-all time, Teal time)
+#: Times are exact binary fractions so means survive JSON bit for bit.
+SMALL = {
+    "B4": (12, 38, 132, 0.25, 0.0125),
+    "SWAN": (24, 62, 300, 0.5, 0.02),
+}
+LARGE = {
+    "UsCarrier": (40, 94, 300, 1.5, 0.05),
+    "Kdl": (64, 150, 300, 2.5, 0.0625),
+}
+
+#: Per-matrix satisfied fractions (2 test matrices per cell).
+SATISFIED = {"LP-all": [0.9, 0.8], "Teal": [0.8, 0.7]}
+
+
+def build(topologies: dict) -> GridResult:
+    suite = ScenarioSuite(
+        topologies=tuple(topologies),
+        failure_counts=(0,),
+        seeds=(0,),
+        schemes=("LP-all", "Teal"),
+        test=2,
+    )
+    cells, timings = [], []
+    for name, (nodes, edges, demands, lp_time, teal_time) in topologies.items():
+        for scheme in suite.schemes:
+            run = SchemeRun(scheme=scheme)
+            time = lp_time if scheme == "LP-all" else teal_time
+            for satisfied in SATISFIED[scheme]:
+                run.add(
+                    satisfied=satisfied,
+                    compute_time=time,
+                    objective_value=satisfied * 100.0,
+                )
+            cells.append(
+                GridCell(
+                    topology=name, seed=0, failure_count=0, scheme=scheme,
+                    run=run, extras={"failed_edges": []},
+                )
+            )
+        timings.append(
+            {
+                "topology": name, "seed": 0,
+                "num_nodes": nodes, "num_edges": edges, "num_demands": demands,
+                "build_seconds": 0.125, "train_seconds": 2.0,
+                "sweep_seconds": 0.5,
+            }
+        )
+    return GridResult(
+        suite=suite, cells=cells, timings=timings,
+        metadata={"executor": "serial", "num_cells": len(cells)},
+    )
+
+
+def main() -> None:
+    build(SMALL).to_json(os.path.join(_HERE, "grid_mini_small.json"))
+    build(LARGE).to_json(os.path.join(_HERE, "grid_mini_large.json"))
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,11 @@ class TestParser:
         assert args.failures == [0, 1]
         assert args.executor == "process"
         assert args.output is None
+        assert args.cache_dir is None
+
+    def test_sweep_cache_dir(self):
+        args = build_parser().parse_args(["sweep", "--cache-dir", "cache"])
+        assert args.cache_dir == "cache"
 
     def test_sweep_arguments(self):
         args = build_parser().parse_args(
@@ -97,6 +102,36 @@ class TestCommands:
 
         result = GridResult.from_json(output)
         assert result.metadata["num_cells"] == 4
+
+    def test_sweep_cache_dir_warm_rerun_matches(self, capsys, tmp_path):
+        """A warm --cache-dir rerun loads scenarios/models from disk and
+        reproduces the cold run's GridResult exactly."""
+        from repro.harness import clear_caches
+        from repro.sweep import GridResult
+
+        argv = [
+            "sweep",
+            "--topologies", "B4",
+            "--failures", "0",
+            "--matrices", "2",
+            "--train", "4",
+            "--validation", "1",
+            "--steps", "2",
+            "--warm-start-steps", "6",
+            "--executor", "serial",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        clear_caches()
+        assert main(argv + ["--output", str(tmp_path / "cold.json")]) == 0
+        clear_caches()  # drop in-memory tiers: the rerun must hit the disk
+        assert main(argv + ["--output", str(tmp_path / "warm.json")]) == 0
+        capsys.readouterr()
+        cold = GridResult.from_json(tmp_path / "cold.json")
+        warm = GridResult.from_json(tmp_path / "warm.json")
+        assert [c.run.satisfied for c in warm.cells] == [
+            c.run.satisfied for c in cold.cells
+        ]
+        assert (tmp_path / "cache").glob("scenario-*.npz")
 
     def test_train_runs_small(self, capsys):
         code = main(

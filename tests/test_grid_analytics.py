@@ -1,0 +1,388 @@
+"""Tests for grid analytics reductions and the ``repro.cli analyze`` command.
+
+Reductions are verified against small hand-computed fixtures — including
+the two checked-in mini ``GridResult`` JSONs under ``tests/fixtures/``
+(regenerate with ``tests/fixtures/make_grid_fixtures.py``), whose
+round-number compute times make the expected speedup curve
+20x/25x/30x/40x by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ReproError
+from repro.simulation.metrics import SchemeRun
+from repro.sweep import (
+    GridAnalytics,
+    GridCell,
+    GridResult,
+    ScenarioSuite,
+    analyze,
+    format_analytics,
+    load_grid_results,
+    phase_breakdown,
+    precision_table,
+    scheme_distributions,
+    speedup_curve,
+)
+from repro.sweep.analytics import resolve_baseline
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+GRID_SMALL = os.path.join(FIXTURES, "grid_mini_small.json")
+GRID_LARGE = os.path.join(FIXTURES, "grid_mini_large.json")
+
+
+def scheme_run(name: str, satisfied, times, objectives=None) -> SchemeRun:
+    run = SchemeRun(scheme=name)
+    for i, (s, t) in enumerate(zip(satisfied, times)):
+        run.add(
+            satisfied=s,
+            compute_time=t,
+            objective_value=objectives[i] if objectives else 0.0,
+        )
+    return run
+
+
+def make_result(
+    sizes: dict[str, tuple[int, int, int]],
+    runs: dict[tuple[str, int, str], SchemeRun],
+    schemes: tuple[str, ...] = ("LP-all", "Teal"),
+    failure_counts: tuple[int, ...] = (0,),
+    precision: str = "float32",
+    timing_seconds: tuple[float, float, float] = (0.1, 2.0, 0.5),
+) -> GridResult:
+    """A GridResult from hand-chosen per-cell runs and instance sizes."""
+    suite = ScenarioSuite(
+        topologies=tuple(sizes),
+        failure_counts=failure_counts,
+        seeds=(0,),
+        schemes=schemes,
+        precision=precision,
+    )
+    cells = [
+        GridCell(
+            topology=topology, seed=0, failure_count=count, scheme=scheme,
+            run=runs[(topology, count, scheme)],
+        )
+        for topology in sizes
+        for count in failure_counts
+        for scheme in schemes
+    ]
+    build, train, sweep = timing_seconds
+    timings = [
+        {
+            "topology": topology, "seed": 0,
+            "num_nodes": nodes, "num_edges": edges, "num_demands": demands,
+            "build_seconds": build, "train_seconds": train,
+            "sweep_seconds": sweep,
+        }
+        for topology, (nodes, edges, demands) in sizes.items()
+    ]
+    return GridResult(suite=suite, cells=cells, timings=timings, metadata={})
+
+
+@pytest.fixture()
+def two_topology_result() -> GridResult:
+    """B4 + SWAN, one failure level, hand-picked times and quality."""
+    return make_result(
+        sizes={"B4": (12, 38, 132), "SWAN": (24, 62, 300)},
+        runs={
+            ("B4", 0, "LP-all"): scheme_run(
+                "LP-all", [0.9, 0.8], [0.2, 0.4], objectives=[90.0, 80.0]
+            ),
+            ("B4", 0, "Teal"): scheme_run(
+                "Teal", [0.8, 0.7], [0.01, 0.02], objectives=[80.0, 70.0]
+            ),
+            ("SWAN", 0, "LP-all"): scheme_run(
+                "LP-all", [0.85, 0.75], [1.0, 1.0]
+            ),
+            ("SWAN", 0, "Teal"): scheme_run("Teal", [0.7, 0.6], [0.04, 0.04]),
+        },
+    )
+
+
+class TestSpeedupCurve:
+    def test_hand_computed_points(self, two_topology_result):
+        curve = speedup_curve([two_topology_result])
+        assert [p.topology for p in curve] == ["B4", "SWAN"]
+        b4, swan = curve
+        # B4: mean(0.2, 0.4) / mean(0.01, 0.02) = 0.3 / 0.015 = 20.
+        assert b4.baseline_mean_time == pytest.approx(0.3)
+        assert b4.accelerated_mean_time == pytest.approx(0.015)
+        assert b4.speedup == pytest.approx(20.0)
+        assert (b4.num_nodes, b4.num_edges, b4.num_demands) == (12, 38, 132)
+        assert b4.num_samples == 2
+        # SWAN: 1.0 / 0.04 = 25.
+        assert swan.speedup == pytest.approx(25.0)
+        assert swan.precision == "float32"
+        assert swan.baseline == "LP-all" and swan.accelerated == "Teal"
+
+    def test_pools_across_results(self, two_topology_result):
+        """Two results with the same topology pool their samples."""
+        other = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={
+                ("B4", 0, "LP-all"): scheme_run("LP-all", [0.9], [0.6]),
+                ("B4", 0, "Teal"): scheme_run("Teal", [0.8], [0.03]),
+            },
+        )
+        curve = speedup_curve([two_topology_result, other])
+        b4 = [p for p in curve if p.topology == "B4"][0]
+        # Pooled: mean(0.2, 0.4, 0.6) / mean(0.01, 0.02, 0.03) = 0.4 / 0.02.
+        assert b4.speedup == pytest.approx(20.0)
+        assert b4.num_samples == 3
+
+    def test_same_name_different_scale_stays_split(self, two_topology_result):
+        """A topology rerun at another size is its own curve point."""
+        bigger = make_result(
+            sizes={"B4": (48, 150, 400)},
+            runs={
+                ("B4", 0, "LP-all"): scheme_run("LP-all", [0.9], [2.0]),
+                ("B4", 0, "Teal"): scheme_run("Teal", [0.8], [0.04]),
+            },
+        )
+        curve = speedup_curve([two_topology_result, bigger])
+        b4_points = [p for p in curve if p.topology == "B4"]
+        assert [(p.num_nodes, p.speedup) for p in b4_points] == [
+            (12, pytest.approx(20.0)),
+            (48, pytest.approx(50.0)),
+        ]
+
+    def test_sorted_by_size(self, two_topology_result):
+        curve = speedup_curve([two_topology_result])
+        assert [p.num_nodes for p in curve] == sorted(p.num_nodes for p in curve)
+
+    def test_missing_pairing_raises(self):
+        only_teal = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={("B4", 0, "Teal"): scheme_run("Teal", [0.8], [0.01])},
+            schemes=("Teal",),
+        )
+        with pytest.raises(ReproError):
+            speedup_curve([only_teal], baseline="LP-all")
+
+    def test_resolve_baseline_default_and_failure(self, two_topology_result):
+        assert resolve_baseline([two_topology_result], None) == "LP-all"
+        assert resolve_baseline([two_topology_result], "POP") == "POP"
+        only_teal = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={("B4", 0, "Teal"): scheme_run("Teal", [0.8], [0.01])},
+            schemes=("Teal",),
+        )
+        with pytest.raises(ReproError):
+            resolve_baseline([only_teal], None)
+
+
+class TestSchemeDistributions:
+    def test_hand_computed_percentiles(self, two_topology_result):
+        distributions = scheme_distributions([two_topology_result])
+        by_key = {(d.scheme, d.failure_count): d for d in distributions}
+        lp = by_key[("LP-all", 0)]
+        # Pooled over B4 + SWAN: [0.9, 0.8, 0.85, 0.75].
+        assert lp.num_samples == 4
+        assert lp.mean_satisfied == pytest.approx(0.825)
+        assert lp.p50_satisfied == pytest.approx(
+            np.percentile([0.9, 0.8, 0.85, 0.75], 50)
+        )
+        assert lp.min_satisfied == pytest.approx(0.75)
+        assert lp.max_satisfied == pytest.approx(0.9)
+        # Objectives recorded only for B4 cells; zeros elsewhere.
+        assert by_key[("Teal", 0)].mean_objective == pytest.approx(
+            (80.0 + 70.0 + 0.0 + 0.0) / 4
+        )
+        assert lp.mean_compute_time == pytest.approx(
+            np.mean([0.2, 0.4, 1.0, 1.0])
+        )
+
+    def test_split_by_failure_level(self):
+        result = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={
+                ("B4", 0, "Teal"): scheme_run("Teal", [0.9], [0.01]),
+                ("B4", 2, "Teal"): scheme_run("Teal", [0.5], [0.01]),
+            },
+            schemes=("Teal",),
+            failure_counts=(0, 2),
+        )
+        distributions = scheme_distributions([result])
+        by_count = {d.failure_count: d.mean_satisfied for d in distributions}
+        assert by_count == {0: pytest.approx(0.9), 2: pytest.approx(0.5)}
+
+
+class TestPhaseBreakdown:
+    def test_means_over_jobs(self, two_topology_result):
+        other = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={
+                ("B4", 0, "LP-all"): scheme_run("LP-all", [0.9], [0.6]),
+                ("B4", 0, "Teal"): scheme_run("Teal", [0.8], [0.03]),
+            },
+            timing_seconds=(0.3, 4.0, 1.5),
+        )
+        phases = phase_breakdown([two_topology_result, other])
+        b4 = [p for p in phases if p.topology == "B4"][0]
+        assert b4.num_jobs == 2
+        assert b4.build_seconds == pytest.approx(0.2)
+        assert b4.train_seconds == pytest.approx(3.0)
+        assert b4.sweep_seconds == pytest.approx(1.0)
+        assert b4.total_seconds == pytest.approx(4.2)
+        assert [p.num_nodes for p in phases] == sorted(
+            p.num_nodes for p in phases
+        )
+
+
+class TestPrecisionTable:
+    def make_pair(self, teal32, teal64, lp32=0.3, lp64=0.3, sat32=0.8, sat64=0.8):
+        r32 = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={
+                ("B4", 0, "LP-all"): scheme_run("LP-all", [0.9], [lp32]),
+                ("B4", 0, "Teal"): scheme_run("Teal", [sat32], [teal32]),
+            },
+            precision="float32",
+        )
+        r64 = make_result(
+            sizes={"B4": (12, 38, 132)},
+            runs={
+                ("B4", 0, "LP-all"): scheme_run("LP-all", [0.9], [lp64]),
+                ("B4", 0, "Teal"): scheme_run("Teal", [sat64], [teal64]),
+            },
+            precision="float64",
+        )
+        return r32, r64
+
+    def test_speedup_and_parity(self):
+        r32, r64 = self.make_pair(
+            teal32=0.01, teal64=0.03, sat32=0.8008, sat64=0.8
+        )
+        rows = precision_table([r32, r64])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.speedup == pytest.approx(3.0)
+        assert row.float32_mean_time == pytest.approx(0.01)
+        assert row.float64_mean_time == pytest.approx(0.03)
+        # Worst scheme disagreement: Teal |0.8008 - 0.8| / 0.8 = 1e-3.
+        assert row.max_satisfied_rel_diff == pytest.approx(1e-3)
+
+    def test_empty_without_both_precisions(self, two_topology_result):
+        assert precision_table([two_topology_result]) == []
+
+
+class TestAnalyzeBundle:
+    def test_bundle_and_roundtrip(self, two_topology_result, tmp_path):
+        analytics = analyze([two_topology_result], sources=["a.json"])
+        assert analytics.num_results == 1
+        assert analytics.num_cells == 4
+        assert analytics.objectives == ["total_flow"]
+        assert analytics.precisions == ["float32"]
+        assert analytics.sources == ["a.json"]
+        path = tmp_path / "analytics.json"
+        analytics.to_json(path)
+        back = GridAnalytics.from_json(path)
+        assert back.to_dict() == analytics.to_dict()
+
+    def test_csv_export(self, two_topology_result, tmp_path):
+        analytics = analyze([two_topology_result])
+        path = tmp_path / "curve.csv"
+        analytics.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",") == list(GridAnalytics.CSV_COLUMNS)
+        assert len(lines) == 1 + len(analytics.curve)
+        assert lines[1].startswith("B4,12,38,132,float32,LP-all,Teal,")
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ReproError):
+            analyze([])
+
+    def test_format_contains_sections(self, two_topology_result):
+        text = format_analytics(analyze([two_topology_result]))
+        assert "speedup vs topology size" in text
+        assert "satisfied demand per scheme x failure level" in text
+        assert "phase breakdown" in text
+        assert "20.0x" in text
+
+
+class TestLoadGridResults:
+    def test_loads_checked_in_fixtures(self):
+        results = load_grid_results([GRID_SMALL, GRID_LARGE])
+        assert [r.suite.topologies for r in results] == [
+            ("B4", "SWAN"),
+            ("UsCarrier", "Kdl"),
+        ]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_grid_results([tmp_path / "nope.json"])
+
+    def test_malformed_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="malformed"):
+            load_grid_results([bad])
+
+    def test_wrong_document_raises(self, tmp_path):
+        bad = tmp_path / "wrong.json"
+        bad.write_text(json.dumps({"benchmark": "something else"}))
+        with pytest.raises(ReproError, match="malformed"):
+            load_grid_results([bad])
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ReproError):
+            load_grid_results([])
+
+
+class TestAnalyzeCli:
+    def test_fixture_curve_end_to_end(self, capsys, tmp_path):
+        """The acceptance-shape smoke: two GridResult JSONs reduce into a
+        speedup-vs-size curve covering B4/SWAN/UsCarrier + Kdl."""
+        out = tmp_path / "analytics.json"
+        csv_out = tmp_path / "curve.csv"
+        code = main(
+            [
+                "analyze", GRID_SMALL, GRID_LARGE,
+                "--output", str(out), "--csv", str(csv_out),
+            ]
+        )
+        assert code == 0
+        analytics = GridAnalytics.from_json(out)
+        assert [(p.topology, p.num_nodes) for p in analytics.curve] == [
+            ("B4", 12), ("SWAN", 24), ("UsCarrier", 40), ("Kdl", 64),
+        ]
+        # The fixtures' round-number times: 20x/25x/30x/40x by construction.
+        assert [p.speedup for p in analytics.curve] == [20.0, 25.0, 30.0, 40.0]
+        speedups = [p.speedup for p in analytics.curve]
+        assert speedups == sorted(speedups)  # grows with topology size
+        assert csv_out.read_text().count("\n") == 5  # header + 4 points
+        assert "speedup vs topology size" in capsys.readouterr().out
+
+    def test_missing_input_exit_code(self, capsys, tmp_path):
+        code = main(["analyze", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_input_exit_code(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2")
+        code = main(["analyze", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unresolvable_baseline_exit_code(self, capsys):
+        code = main(["analyze", GRID_SMALL, "--accelerated", "NCFlow"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["analyze", "grid.json"])
+        assert args.inputs == ["grid.json"]
+        assert args.baseline is None
+        assert args.accelerated == "Teal"
+        assert args.output is None and args.csv is None

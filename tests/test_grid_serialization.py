@@ -1,0 +1,279 @@
+"""Round-trip property tests for grid-result serialization.
+
+`SchemeRun`/`GridCell`/`GridResult` JSONs are the repo's long-lived
+artifacts — grid analytics aggregates them across PRs — so their
+``to_dict``/``from_dict`` pair must survive more than the happy path:
+randomized contents, empty grids, non-finite timings, and documents
+written by *future* library versions (unknown keys). Every case here
+round-trips through an actual JSON string, not just a dict, so the
+encoder's NaN/Infinity handling is part of the contract.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.simulation.metrics import SchemeRun
+from repro.sweep import GridCell, GridResult, ScenarioSuite
+
+SCHEMES = ("LP-all", "LP-top", "NCFlow", "POP", "Teal", "TEAVAR*")
+TOPOLOGIES = ("B4", "SWAN", "UsCarrier", "Kdl", "ASN")
+
+#: Non-finite values that must survive serialization (timings of killed
+#: or diverged runs land as nan/inf in practice).
+SPECIALS = (float("nan"), float("inf"), float("-inf"))
+
+
+def floats_equal(left: list[float], right: list[float]) -> bool:
+    """Element-wise equality that treats NaN == NaN."""
+    if len(left) != len(right):
+        return False
+    return all(
+        (math.isnan(a) and math.isnan(b)) or a == b
+        for a, b in zip(left, right)
+    )
+
+
+def random_run(rng: np.random.Generator) -> SchemeRun:
+    run = SchemeRun(scheme=str(rng.choice(SCHEMES)))
+    for _ in range(int(rng.integers(0, 6))):
+        if rng.random() < 0.25:
+            compute_time = float(rng.choice(SPECIALS))
+        else:
+            compute_time = float(rng.exponential())
+        extras = None
+        if rng.random() < 0.5:
+            extras = {
+                "solver_time": float(rng.random()),
+                "stale": bool(rng.random() < 0.5),
+                "failed_edges": [int(e) for e in rng.integers(0, 40, size=3)],
+            }
+        run.add(
+            satisfied=float(rng.random()),
+            compute_time=compute_time,
+            objective_value=float(rng.normal()),
+            extras=extras,
+        )
+    return run
+
+
+def random_suite(rng: np.random.Generator) -> ScenarioSuite:
+    num_topologies = int(rng.integers(1, 4))
+    chosen = rng.choice(len(TOPOLOGIES), size=num_topologies, replace=False)
+    training = None
+    if rng.random() < 0.5:
+        training = TrainingConfig(
+            steps=int(rng.integers(1, 50)),
+            warm_start_steps=int(rng.integers(0, 50)),
+            batch_matrices=int(rng.integers(1, 8)),
+            failure_rate=float(rng.random()),
+        )
+    return ScenarioSuite(
+        topologies=tuple(TOPOLOGIES[i] for i in sorted(chosen)),
+        failure_counts=tuple(
+            int(c) for c in sorted(rng.choice(6, size=2, replace=False))
+        ),
+        seeds=tuple(int(s) for s in sorted(rng.choice(10, size=2, replace=False))),
+        schemes=("LP-all", "Teal") if rng.random() < 0.5 else ("Teal",),
+        mode=str(rng.choice(["offline", "online"])),
+        precision=str(rng.choice(["float32", "float64"])),
+        training=training,
+        max_pairs=None if rng.random() < 0.3 else int(rng.integers(50, 2000)),
+        failure_at=None if rng.random() < 0.5 else int(rng.integers(0, 4)),
+    )
+
+
+def random_result(rng: np.random.Generator, empty: bool = False) -> GridResult:
+    suite = random_suite(rng)
+    cells: list[GridCell] = []
+    timings: list[dict] = []
+    if not empty:
+        for topology in suite.topologies:
+            for seed in suite.seeds:
+                for count in suite.failure_counts:
+                    for scheme in suite.schemes:
+                        cells.append(
+                            GridCell(
+                                topology=topology,
+                                seed=seed,
+                                failure_count=count,
+                                scheme=scheme,
+                                run=random_run(rng),
+                                extras={"failed_edges": []},
+                            )
+                        )
+                timings.append(
+                    {
+                        "topology": topology,
+                        "seed": seed,
+                        "num_nodes": int(rng.integers(4, 2000)),
+                        "num_edges": int(rng.integers(8, 9000)),
+                        "num_demands": int(rng.integers(10, 3000)),
+                        # Non-finite job timings must survive too.
+                        "build_seconds": float(rng.choice(SPECIALS))
+                        if rng.random() < 0.2
+                        else float(rng.exponential()),
+                        "train_seconds": float(rng.exponential()),
+                        "sweep_seconds": float(rng.exponential()),
+                    }
+                )
+    return GridResult(
+        suite=suite,
+        cells=cells,
+        timings=timings,
+        metadata={"executor": "serial", "num_cells": len(cells)},
+    )
+
+
+def assert_runs_equal(left: SchemeRun, right: SchemeRun) -> None:
+    assert left.scheme == right.scheme
+    assert floats_equal(left.satisfied, right.satisfied)
+    assert floats_equal(left.compute_times, right.compute_times)
+    assert floats_equal(left.objective_values, right.objective_values)
+    assert left.extras == right.extras
+
+
+def assert_results_equal(left: GridResult, right: GridResult) -> None:
+    assert left.suite == right.suite
+    assert len(left.cells) == len(right.cells)
+    for cell_left, cell_right in zip(left.cells, right.cells):
+        assert cell_left.coords == cell_right.coords
+        assert cell_left.extras == cell_right.extras
+        assert_runs_equal(cell_left.run, cell_right.run)
+    assert len(left.timings) == len(right.timings)
+    for t_left, t_right in zip(left.timings, right.timings):
+        assert set(t_left) == set(t_right)
+        for key, value in t_left.items():
+            other = t_right[key]
+            if isinstance(value, float):
+                assert floats_equal([value], [other])
+            else:
+                assert value == other
+    assert left.metadata == right.metadata
+
+
+class TestSchemeRunRoundTrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized(self, seed):
+        run = random_run(np.random.default_rng(seed))
+        back = SchemeRun.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert_runs_equal(run, back)
+
+    def test_empty_run(self):
+        run = SchemeRun(scheme="Teal")
+        back = SchemeRun.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert_runs_equal(run, back)
+
+    def test_all_nonfinite_timings(self):
+        run = SchemeRun(scheme="Teal")
+        for value in SPECIALS:
+            run.add(satisfied=0.5, compute_time=value)
+        back = SchemeRun.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert_runs_equal(run, back)
+        assert math.isnan(back.compute_times[0])
+        assert back.compute_times[1] == float("inf")
+
+    def test_unknown_keys_ignored(self):
+        rng = np.random.default_rng(1)
+        record = random_run(rng).to_dict()
+        record["a_future_field"] = {"nested": [1, 2, 3]}
+        back = SchemeRun.from_dict(record)
+        assert back.scheme == record["scheme"]
+
+
+class TestGridCellRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomized(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        cell = GridCell(
+            topology=str(rng.choice(TOPOLOGIES)),
+            seed=int(rng.integers(0, 10)),
+            failure_count=int(rng.integers(0, 5)),
+            scheme=str(rng.choice(SCHEMES)),
+            run=random_run(rng),
+            extras={"failed_edges": [int(e) for e in rng.integers(0, 9, 2)]},
+        )
+        back = GridCell.from_dict(json.loads(json.dumps(cell.to_dict())))
+        assert back.coords == cell.coords
+        assert back.extras == cell.extras
+        assert_runs_equal(cell.run, back.run)
+
+    def test_unknown_keys_ignored(self):
+        cell = GridCell(
+            topology="B4", seed=0, failure_count=0, scheme="Teal",
+            run=SchemeRun(scheme="Teal"),
+        )
+        record = cell.to_dict()
+        record["a_future_field"] = "ignored"
+        assert GridCell.from_dict(record).coords == cell.coords
+
+    def test_missing_extras_defaults_empty(self):
+        record = GridCell(
+            topology="B4", seed=0, failure_count=0, scheme="Teal",
+            run=SchemeRun(scheme="Teal"),
+        ).to_dict()
+        del record["extras"]
+        assert GridCell.from_dict(record).extras == {}
+
+
+class TestScenarioSuiteRoundTrip:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_randomized(self, seed):
+        suite = random_suite(np.random.default_rng(seed + 200))
+        back = ScenarioSuite.from_dict(json.loads(json.dumps(suite.to_dict())))
+        assert back == suite
+
+    def test_unknown_keys_ignored(self):
+        """Documents from newer library versions stay loadable."""
+        suite = random_suite(np.random.default_rng(3))
+        record = suite.to_dict()
+        record["a_future_axis"] = ["x", "y"]
+        if record["training"] is not None:
+            record["training"]["a_future_knob"] = 7
+        assert ScenarioSuite.from_dict(record) == suite
+
+    def test_training_none_roundtrip(self):
+        suite = ScenarioSuite(topologies=("B4",), training=None)
+        assert ScenarioSuite.from_dict(suite.to_dict()).training is None
+
+
+class TestGridResultRoundTrip:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized(self, seed):
+        result = random_result(np.random.default_rng(seed + 300))
+        back = GridResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert_results_equal(result, back)
+
+    def test_empty_grid(self):
+        result = random_result(np.random.default_rng(4), empty=True)
+        assert result.cells == [] and result.timings == []
+        back = GridResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert_results_equal(result, back)
+
+    def test_unknown_keys_ignored_at_every_level(self):
+        result = random_result(np.random.default_rng(5))
+        record = json.loads(json.dumps(result.to_dict()))
+        record["a_future_section"] = {"k": 1}
+        record["suite"]["a_future_axis"] = [1]
+        for cell in record["cells"]:
+            cell["a_future_field"] = True
+            cell["run"]["a_future_series"] = [1.0]
+        back = GridResult.from_dict(record)
+        assert_results_equal(result, back)
+
+    def test_file_roundtrip_with_nonfinite(self, tmp_path):
+        rng = np.random.default_rng(6)
+        result = random_result(rng)
+        # Force at least one non-finite cell timing into the document.
+        if result.cells:
+            result.cells[0].run.add(
+                satisfied=0.0, compute_time=float("nan")
+            )
+        path = tmp_path / "grid.json"
+        result.to_json(path)
+        assert_results_equal(result, GridResult.from_json(path))

@@ -413,6 +413,92 @@ class TestSchemePrecisionParity:
 
 
 # ----------------------------------------------------------------------
+# Parity at Kdl-class scale (where the (T, I) ADMM arrays dominate)
+# ----------------------------------------------------------------------
+class TestKdlScaleParity:
+    """float32 vs float64 on a Kdl-class carrier backbone.
+
+    The small-topology parity cases above leave the fused kernels'
+    accumulation behaviour mostly untested at the sizes where the win
+    matters: on a Kdl-class instance the (T, I) ADMM iterates (I ≈
+    thousands of path variables) dominate the compute, and rounding
+    error compounds across far more segment-sum terms than on B4. This
+    pins the documented 1e-4 relative tolerance at that scale, through
+    the full float32 inference chain (fused forward + single-precision
+    ADMM with float64-accumulated segment sums).
+    """
+
+    @pytest.fixture(scope="class")
+    def kdl_case(self):
+        from repro.harness import BENCH_SCALES
+        from repro.paths import PathSet
+        from repro.topology.generators import kdl
+        from repro.traffic import TrafficTrace
+
+        topology = kdl(scale=BENCH_SCALES["Kdl"], seed=2)
+        pathset = PathSet.from_topology(topology, max_pairs=300, seed=5)
+        trace = TrafficTrace.generate(topology.num_nodes, 4, seed=11)
+        demands = np.stack(
+            [pathset.demand_volumes(m.values) for m in trace]
+        )
+        return pathset, demands
+
+    def test_instance_is_kdl_class(self, kdl_case):
+        """The case really is beyond the small parity topologies."""
+        pathset, _ = kdl_case
+        assert pathset.topology.num_nodes >= 60
+        assert pathset.num_paths >= 1000  # the ADMM I axis
+
+    def test_fused_forward_parity_at_scale(self, kdl_case):
+        pathset, demands = kdl_case
+        model64 = TealModel(pathset, seed=3)
+        model32 = TealModel(pathset, seed=3).astype(np.float32)
+        ratios64 = model64.split_ratios_batch(demands)
+        ratios32 = model32.split_ratios_batch(demands).astype(np.float64)
+        caps = pathset.topology.capacities
+        r64 = evaluate_allocations_batch(pathset, ratios64, demands, caps)
+        r32 = evaluate_allocations_batch(pathset, ratios32, demands, caps)
+        np.testing.assert_allclose(
+            r32.delivered_total, r64.delivered_total, rtol=PARITY_RTOL
+        )
+        np.testing.assert_allclose(
+            r32.max_link_utilization,
+            r64.max_link_utilization,
+            rtol=PARITY_RTOL,
+        )
+
+    def test_forward_plus_admm_parity_at_scale(self, kdl_case):
+        """The full inference chain (forward + ADMM repair) at each
+        precision agrees on delivered flow and MLU within tolerance."""
+        pathset, demands = kdl_case
+        config = AdmmConfig(iterations=12)
+        caps = pathset.topology.capacities
+
+        model64 = TealModel(pathset, seed=3)
+        tuned64 = AdmmFineTuner(pathset, config).fine_tune_batch(
+            model64.split_ratios_batch(demands), demands
+        )
+        model32 = TealModel(pathset, seed=3).astype(np.float32)
+        tuned32 = AdmmFineTuner(
+            pathset, config, precision="float32"
+        ).fine_tune_batch(model32.split_ratios_batch(demands), demands)
+        assert tuned32.dtype == np.float32
+
+        r64 = evaluate_allocations_batch(pathset, tuned64, demands, caps)
+        r32 = evaluate_allocations_batch(
+            pathset, tuned32.astype(np.float64), demands, caps
+        )
+        np.testing.assert_allclose(
+            r32.delivered_total, r64.delivered_total, rtol=PARITY_RTOL
+        )
+        np.testing.assert_allclose(
+            r32.max_link_utilization,
+            r64.max_link_utilization,
+            rtol=PARITY_RTOL,
+        )
+
+
+# ----------------------------------------------------------------------
 # Precision through the sweep grid spec
 # ----------------------------------------------------------------------
 class TestSuitePrecision:
