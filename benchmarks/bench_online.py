@@ -1,0 +1,177 @@
+"""Benchmark: streaming decision latency (BENCH_online.json).
+
+Drives :class:`repro.simulation.streaming.StreamingEngine` through a
+single-failure event schedule on B4 / SWAN / UsCarrier and records the
+per-decision latency percentiles a production controller is judged on:
+
+- **p50/p99 decision latency vs topology size** — each traffic update is
+  timed individually (``perf_counter`` around the decision pipeline), at
+  float32 and float64 inference;
+- **warm vs cold decisions** — the ADMM warm-start path (fine-tune the
+  previous interval's split ratios, no FlowGNN forward) against the full
+  cold pipeline per decision, with the p50/p99 speedup per topology;
+- **quality guard** — mean satisfied fraction of warm vs cold runs, so a
+  latency win can't silently come from a worse allocation.
+
+Run standalone::
+
+    python benchmarks/bench_online.py            # full record (3 topologies)
+    python benchmarks/bench_online.py --smoke    # CI-scale (B4 only)
+
+or through pytest (``python -m pytest benchmarks/bench_online.py``,
+smoke scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __name__ == "__main__":  # standalone: make src/ importable without env setup
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from repro.config import TrainingConfig
+from repro.harness import build_scenario, trained_teal
+from repro.simulation.streaming import EventSchedule, StreamingEngine
+from repro.topology.failures import sample_link_failures
+
+#: Topologies in paper size order (Table 1); smoke keeps the smallest.
+TOPOLOGIES = ("B4", "SWAN", "UsCarrier")
+SMOKE_TOPOLOGIES = ("B4",)
+
+#: Trace length (= decisions per run) at full / smoke scale.
+TRACE_INTERVALS = 8
+SMOKE_INTERVALS = 4
+
+#: Teal training budget (training is float64 either way; the benchmark
+#: measures *decision* latency, not training).
+TRAINING = TrainingConfig(steps=10, warm_start_steps=40, log_every=100)
+
+_RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_online.json",
+)
+
+
+def _run_stats(run) -> dict:
+    return {
+        "p50_latency_ms": round(1000 * run.p50_latency, 4),
+        "p99_latency_ms": round(1000 * run.p99_latency, 4),
+        "warm_fraction": round(run.warm_fraction, 4),
+        "mean_satisfied": round(run.mean_satisfied, 6),
+        "stale_fraction": round(run.stale_fraction, 4),
+    }
+
+
+def _bench_topology(name: str, precision: str, intervals: int) -> dict:
+    scenario = build_scenario(
+        name, train=8, validation=2, test=intervals, seed=0
+    )
+    teal = trained_teal(scenario, config=TRAINING, precision=precision)
+    edges = sample_link_failures(scenario.topology, 1, seed=7)
+    schedule = EventSchedule.from_failure_case(
+        scenario.split.test,
+        failed_edges=tuple(edges),
+        failure_at=intervals // 2,
+    )
+
+    record: dict = {}
+    for mode, warm in (("warm", True), ("cold", False)):
+        engine = StreamingEngine(scenario.pathset, teal, warm_start=warm)
+        # Warm-up run sheds first-call costs (scipy workspace buffers,
+        # lazy index builds) that would distort the percentiles; the
+        # second run's per-decision latencies are the record.
+        engine.run(schedule, capacities=scenario.capacities)
+        run = engine.run(schedule, capacities=scenario.capacities)
+        record[mode] = _run_stats(run)
+    record["warm_p50_speedup"] = round(
+        record["cold"]["p50_latency_ms"] / record["warm"]["p50_latency_ms"], 2
+    )
+    record["warm_p99_speedup"] = round(
+        record["cold"]["p99_latency_ms"] / record["warm"]["p99_latency_ms"], 2
+    )
+    record["warm_satisfied_delta"] = round(
+        record["warm"]["mean_satisfied"] - record["cold"]["mean_satisfied"], 6
+    )
+    record["size"] = {
+        "num_nodes": scenario.topology.num_nodes,
+        "num_edges": scenario.topology.num_edges,
+        "num_demands": scenario.pathset.num_demands,
+    }
+    return record
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    """Measure decision latency per topology/precision; persist the JSON."""
+    topologies = SMOKE_TOPOLOGIES if smoke else TOPOLOGIES
+    intervals = SMOKE_INTERVALS if smoke else TRACE_INTERVALS
+    record: dict = {
+        "benchmark": "online_streaming",
+        "smoke": smoke,
+        "trace_intervals": intervals,
+        "decisions_per_run": intervals,
+        "failure_count": 1,
+        "topologies": {},
+    }
+    for name in topologies:
+        record["topologies"][name] = {
+            precision: _bench_topology(name, precision, intervals)
+            for precision in ("float32", "float64")
+        }
+    # Headline: the best warm-over-cold p50 speedup across the grid —
+    # the acceptance bar is a measurable improvement on >= 1 topology.
+    speedups = [
+        entry[precision]["warm_p50_speedup"]
+        for entry in record["topologies"].values()
+        for precision in ("float32", "float64")
+    ]
+    record["best_warm_p50_speedup"] = max(speedups)
+    record["warm_faster_somewhere"] = any(s > 1.0 for s in speedups)
+    with open(_RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record
+
+
+def test_online_benchmark():
+    """Warm decisions beat cold ones and lose no allocation quality.
+
+    Runs at smoke scale (B4 only) so the pytest path stays CI-cheap; the
+    committed BENCH_online.json carries the full three-topology record.
+    The speedup bar sits well below the measured figures so shared-runner
+    noise doesn't fail unrelated changes.
+    """
+    record = run_benchmark(smoke=True)
+    print("\n" + json.dumps(record))
+    assert record["warm_faster_somewhere"], record
+    assert record["best_warm_p50_speedup"] >= 1.1, record
+    for entry in record["topologies"].values():
+        for precision in ("float32", "float64"):
+            stats = entry[precision]
+            # Warm runs keep the first (cold) decision, then go warm.
+            assert stats["warm"]["warm_fraction"] > 0.5, stats
+            assert stats["cold"]["warm_fraction"] == 0.0, stats
+            # Quality guard: warm allocations stay within half a percent
+            # of the cold pipeline's satisfied demand.
+            assert stats["warm_satisfied_delta"] >= -0.005, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: B4 only, short trace",
+    )
+    args = parser.parse_args()
+    record = run_benchmark(smoke=args.smoke)
+    json.dump(record, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

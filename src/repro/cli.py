@@ -7,6 +7,7 @@ Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
     teal-repro failures --topology B4     # Figure 8-style failure sweep
     teal-repro train --topology B4        # train + report a Teal model
     teal-repro sweep --topologies B4 SWAN # cross-topology scenario grid
+    teal-repro stream --topology B4       # event-driven streaming online TE
     teal-repro analyze grid1.json grid2.json  # aggregate grid analytics
 """
 
@@ -162,6 +163,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness import (
+        build_scenario,
+        make_baselines,
+        run_streaming_sweep,
+        trained_teal,
+    )
+    from .simulation.streaming import EventSchedule
+    from .topology import sample_link_failures
+
+    scenario = build_scenario(args.topology, scale=args.scale, seed=args.seed)
+    print(
+        f"scenario: {scenario.topology.name} "
+        f"({scenario.topology.num_nodes} nodes, "
+        f"{scenario.pathset.num_demands} demands)"
+    )
+    schemes: dict[str, object] = {}
+    baseline_names = tuple(n for n in args.schemes if n != "Teal")
+    if baseline_names:
+        schemes.update(make_baselines(scenario, include=baseline_names))
+    if "Teal" in args.schemes:
+        print("training Teal...")
+        schemes["Teal"] = trained_teal(scenario, precision=args.precision)
+    schemes = {name: schemes[name] for name in args.schemes}
+
+    matrices = scenario.split.test[: args.matrices]
+    failed_edges: tuple[int, ...] = ()
+    failure_at = None
+    recover_at = None
+    if args.failures:
+        failure_at = args.failure_at
+        if failure_at is None:
+            failure_at = len(matrices) // 2
+        recover_at = args.recover_at
+        failed_edges = tuple(
+            sample_link_failures(
+                scenario.topology, args.failures, seed=args.seed
+            )
+        )
+    schedule = EventSchedule.from_failure_case(
+        matrices,
+        interval_seconds=args.interval_seconds,
+        failed_edges=failed_edges,
+        failure_at=failure_at,
+        recover_at=recover_at,
+    )
+    print(
+        f"streaming {schedule.num_intervals} interval(s), "
+        f"{len(schedule.events)} event(s) "
+        f"[{'cold' if args.cold else 'warm'} decisions]..."
+    )
+    results = run_streaming_sweep(
+        scenario,
+        schemes,
+        {"stream": schedule},
+        warm_start=not args.cold,
+        warm_iterations=args.warm_iterations,
+    )["stream"]
+
+    header = (
+        f"{'scheme':<14} {'p50 lat (ms)':>13} {'p99 lat (ms)':>13} "
+        f"{'warm %':>7} {'satisfied %':>12} {'stale %':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        print(
+            f"{name:<14} {1000 * result.p50_latency:>13.2f} "
+            f"{1000 * result.p99_latency:>13.2f} "
+            f"{100 * result.warm_fraction:>6.0f}% "
+            f"{100 * result.mean_satisfied:>11.1f}% "
+            f"{100 * result.stale_fraction:>7.1f}%"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(
+                {name: r.to_dict() for name, r in results.items()},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .exceptions import ReproError
     from .sweep.analytics import analyze, format_analytics, load_grid_results
@@ -275,6 +363,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_precision(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="streaming online TE: event-driven decisions with "
+        "p50/p99 decision latency",
+    )
+    p_stream.add_argument("--topology", default="B4")
+    p_stream.add_argument("--scale", type=float, default=None)
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument(
+        "--matrices", type=int, default=6, help="trace length (intervals)"
+    )
+    p_stream.add_argument(
+        "--schemes", nargs="+", default=["Teal"],
+        help="baseline names plus 'Teal'",
+    )
+    p_stream.add_argument(
+        "--failures", type=int, default=0,
+        help="simultaneous physical-link failures injected mid-trace",
+    )
+    p_stream.add_argument(
+        "--failure-at", type=int, default=None,
+        help="interval the failure strikes (default: mid-trace)",
+    )
+    p_stream.add_argument(
+        "--recover-at", type=int, default=None,
+        help="interval the failed links recover (default: never)",
+    )
+    p_stream.add_argument(
+        "--interval-seconds", type=float, default=300.0,
+        help="TE interval length (staleness budget)",
+    )
+    p_stream.add_argument(
+        "--cold", action="store_true",
+        help="disable the ADMM warm-start path (full pipeline per "
+        "decision; the mode equivalent to the offline replay)",
+    )
+    p_stream.add_argument(
+        "--warm-iterations", type=int, default=None,
+        help="ADMM iteration budget of warm decisions",
+    )
+    p_stream.add_argument(
+        "--output", default=None, help="write per-scheme JSON results here"
+    )
+    add_precision(p_stream)
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_analyze = sub.add_parser(
         "analyze",

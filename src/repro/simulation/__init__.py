@@ -12,10 +12,20 @@ from .evaluator import (
 from .fallback import FallbackScheme
 from .metrics import SchemeRun, format_comparison_table, speedup
 from .online import (
+    DeploymentTracker,
     IntervalResult,
     OnlineRunResult,
     OnlineSimulator,
     interval_capacities,
+)
+from .streaming import (
+    DecisionRecord,
+    EventSchedule,
+    LinkFailure,
+    LinkRecovery,
+    StreamingEngine,
+    StreamingRunResult,
+    TrafficUpdate,
 )
 
 __all__ = [
@@ -29,7 +39,15 @@ __all__ = [
     "OnlineSimulator",
     "OnlineRunResult",
     "IntervalResult",
+    "DeploymentTracker",
     "interval_capacities",
+    "StreamingEngine",
+    "StreamingRunResult",
+    "EventSchedule",
+    "TrafficUpdate",
+    "LinkFailure",
+    "LinkRecovery",
+    "DecisionRecord",
     "SchemeRun",
     "speedup",
     "format_comparison_table",

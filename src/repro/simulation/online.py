@@ -7,8 +7,10 @@ serving traffic with stale routes until its new allocation is ready.
 loop:
 
 - at the start of interval ``t`` the scheme begins computing on matrix
-  ``t``; the result becomes effective ``ceil(compute_time / interval)``
-  intervals later (0 extra intervals if it finishes within the budget);
+  ``t``; the result becomes effective ``floor(compute_time / interval)``
+  intervals later — a scheme that finishes within the interval budget
+  deploys with delay 0 and serves interval ``t`` itself (§5.1's "within
+  budget = fresh" semantics);
 - each interval is evaluated with whatever allocation is currently
   deployed (initially: everything on shortest paths);
 - link failures can be injected at a chosen interval, changing the
@@ -118,6 +120,81 @@ def interval_capacities(
             )
         stack[failure_at:] = failed
     return stack
+
+
+class DeploymentTracker:
+    """Tracks which allocation is deployed as decisions complete (§5.1).
+
+    The single implementation of the control loop's deployment
+    semantics, shared by :meth:`OnlineSimulator._deployment_schedule`
+    (whole-trace replay) and
+    :class:`repro.simulation.streaming.StreamingEngine` (event-driven),
+    so both agree bit for bit:
+
+    - a decision started on interval ``t`` deploys
+      ``floor(compute_time / interval)`` intervals later (0 = within
+      budget = serves interval ``t`` itself);
+    - when several in-flight decisions become ready, the one started on
+      the *latest* interval wins;
+    - a ready decision never replaces a deployment started later than
+      it: a slow in-flight allocation must not regress routes to an
+      older traffic matrix (e.g. interval 0 finishing at ``t = 2`` must
+      not overwrite interval 1's fresh delay-0 deployment).
+
+    Args:
+        initial: The allocation deployed before any decision completes
+            (the shortest-path default).
+        interval_seconds: TE interval length.
+    """
+
+    def __init__(self, initial: Allocation, interval_seconds: float) -> None:
+        self.interval_seconds = interval_seconds
+        self.deployed = initial
+        #: Interval whose matrix the deployed allocation was computed on.
+        #: The pre-TE default predates every decision, so any completed
+        #: decision may replace it.
+        self.deployed_started = -1
+        # _pending[i] = (ready_interval, started_interval, allocation)
+        self._pending: list[tuple[int, int, Allocation]] = []
+
+    def resolve(self, t: int) -> None:
+        """Deploy the freshest allocation that finished computing by ``t``.
+
+        Ready allocations older than the current deployment are
+        discarded instead of deployed (the anti-regression guard).
+        """
+        ready = [p for p in self._pending if p[0] <= t]
+        if ready:
+            ready.sort(key=lambda p: p[1])
+            if ready[-1][1] > self.deployed_started:
+                self.deployed = ready[-1][2]
+                self.deployed_started = ready[-1][1]
+            self._pending = [p for p in self._pending if p[0] > t]
+
+    def submit(self, t: int, allocation: Allocation) -> int:
+        """Start ``allocation`` (computed on matrix ``t``); return its delay.
+
+        A delay of 0 (compute time within the interval budget) deploys
+        immediately; anything slower is queued until
+        ``t + floor(compute_time / interval)``.
+        """
+        delay = int(
+            np.floor(allocation.compute_time / self.interval_seconds)
+        )
+        if delay == 0:
+            self.deployed = allocation
+            self.deployed_started = t
+        else:
+            self._pending.append((t + delay, t, allocation))
+        return delay
+
+    def age(self, t: int) -> int:
+        """Intervals since the deployed allocation was computed.
+
+        The initial default counts as age ``t`` (computed "at interval
+        0" for bookkeeping, matching the historical replay semantics).
+        """
+        return t - max(self.deployed_started, 0)
 
 
 class OnlineSimulator:
@@ -272,40 +349,24 @@ class OnlineSimulator:
 
         Interval ``t`` kicks off computation on matrix ``t``; the result
         deploys ``floor(compute_time / interval)`` intervals later (0 =
-        within budget = serves interval ``t`` itself). Returns the stacked
-        (T, D, k) deployed ratios and the (T,) allocation ages.
+        within budget = serves interval ``t`` itself). Deployment
+        semantics — including the guard against a slow in-flight
+        allocation regressing routes to an older matrix — live in
+        :class:`DeploymentTracker`. Returns the stacked (T, D, k)
+        deployed ratios and the (T,) allocation ages.
         """
         num_intervals = len(allocations)
-        deployed = self._initial_allocation()
-        deployed_for_interval = 0
-        # pending[i] = (ready_interval, started_interval, allocation)
-        pending: list[tuple[int, int, Allocation]] = []
+        tracker = DeploymentTracker(
+            self._initial_allocation(), self.interval_seconds
+        )
         ratios = np.empty(
             (num_intervals, self.pathset.num_demands, self.pathset.max_paths)
         )
         ages = np.empty(num_intervals, dtype=int)
 
         for t in range(num_intervals):
-            # Deploy the freshest allocation that finished computing by now.
-            ready = [p for p in pending if p[0] <= t]
-            if ready:
-                ready.sort(key=lambda p: p[1])
-                deployed = ready[-1][2]
-                deployed_for_interval = ready[-1][1]
-                pending = [p for p in pending if p[0] > t]
-
-            allocation = allocations[t]
-            # A scheme that finishes within the interval budget serves this
-            # very interval (§5.1: within the 5-minute budget = fresh).
-            delay_intervals = int(
-                np.floor(allocation.compute_time / self.interval_seconds)
-            )
-            if delay_intervals == 0:
-                deployed = allocation
-                deployed_for_interval = t
-            else:
-                pending.append((t + delay_intervals, t, allocation))
-
-            ratios[t] = deployed.split_ratios
-            ages[t] = t - deployed_for_interval
+            tracker.resolve(t)
+            tracker.submit(t, allocations[t])
+            ratios[t] = tracker.deployed.split_ratios
+            ages[t] = tracker.age(t)
         return ratios, ages

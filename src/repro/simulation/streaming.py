@@ -1,0 +1,579 @@
+"""Streaming online TE: an event-driven engine with per-decision latency.
+
+The paper's pitch is sub-second TE decisions on near-Google-scale WANs,
+which makes *decision latency* — not sweep throughput — the metric a
+production controller is judged on. :class:`StreamingEngine` runs the
+control loop the way a long-lived controller would: a time-ordered
+stream of events (traffic-matrix updates, link failures, link
+recoveries) drives incremental re-allocation, and the engine records the
+measured wall-clock of every decision so a run reports p50/p99 decision
+latency.
+
+Two decision modes:
+
+- **cold** — every traffic update runs the scheme's full ``allocate``
+  pipeline (for Teal: FlowGNN forward + ADMM fine-tuning);
+- **warm** — after the first decision, consecutive traffic matrices are
+  close enough that the previous interval's split ratios are a good
+  primal warm start: the engine skips the forward pass and runs only
+  ADMM fine-tuning (:meth:`repro.core.admm.AdmmFineTuner.fine_tune`)
+  seeded from the last computed ratios, keeping the fine-tuned result
+  only if it scores at least as well (the same acceptance rule as
+  :class:`repro.core.teal.TealScheme`). Capacity events (failures,
+  recoveries) need no special casing — ADMM repairs violations against
+  whatever capacities the next decision sees.
+
+Deployment follows the §5.1 staleness semantics via the same
+:class:`~repro.simulation.online.DeploymentTracker` the offline replay
+uses, so a failure-at-one-interval schedule replayed through this engine
+reproduces :meth:`OnlineSimulator.run` per-interval satisfied fractions
+exactly. Scoring reuses the batched evaluator: decisions are made one
+event at a time (genuine per-decision wall-clock), but all intervals are
+scored in one :func:`~repro.simulation.evaluator.evaluate_allocations_batch`
+pass at the end of the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TE_INTERVAL_SECONDS
+from ..exceptions import SimulationError
+from ..paths.pathset import PathSet
+from ..traffic.matrix import TrafficMatrix
+from .evaluator import Allocation, evaluate_allocations_batch
+from .online import DeploymentTracker, IntervalResult, OnlineRunResult
+
+
+@dataclass(frozen=True)
+class TrafficUpdate:
+    """A new traffic matrix arrives; the controller must decide.
+
+    Attributes:
+        time: Event timestamp (seconds since the start of the run).
+        matrix: The traffic matrix in effect from this event on.
+    """
+
+    time: float
+    matrix: TrafficMatrix
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """Physical links fail: the listed directed edges drop to capacity 0.
+
+    Attributes:
+        time: Event timestamp (seconds).
+        edges: Directed edge ids whose capacity drops to zero (e.g. from
+            :func:`repro.topology.failures.sample_link_failures`, which
+            fails both directions of each physical link).
+    """
+
+    time: float
+    edges: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LinkRecovery:
+    """Failed links come back at their nominal capacities, bit for bit.
+
+    Attributes:
+        time: Event timestamp (seconds).
+        edges: Directed edge ids to restore; an empty tuple restores
+            every currently failed edge.
+    """
+
+    time: float
+    edges: tuple[int, ...] = ()
+
+
+#: Event types a schedule may contain.
+Event = TrafficUpdate | LinkFailure | LinkRecovery
+
+#: Tie-break at equal timestamps: capacity events apply before the
+#: traffic update, so a decision made "at" a failure instant already
+#: sees the degraded capacities (matching the offline replay, where
+#: ``interval_capacities`` degrades interval ``failure_at`` itself).
+_PRIORITY = {LinkFailure: 0, LinkRecovery: 0, TrafficUpdate: 1}
+
+
+@dataclass(frozen=True)
+class EventSchedule:
+    """A time-ordered stream of control-plane events.
+
+    Events are stored sorted by ``(time, kind)``; capacity events sort
+    before the traffic update at the same timestamp (see the tie-break
+    note above). The constructors cover the common shapes: a plain
+    trace, a failure(-and-recovery) case equivalent to
+    :meth:`OnlineSimulator.run`'s ``failure_at`` semantics, and a
+    :class:`~repro.sweep.grid.ScenarioSuite` grid cell — closing the
+    "online-mode grids with per-cell failure timing" loop: every cell's
+    failure sampling and timing becomes an explicit event schedule.
+
+    Attributes:
+        events: The sorted event tuple (any iterable is accepted and
+            sorted stably on construction).
+        interval_seconds: TE interval length (decision staleness budget).
+    """
+
+    events: tuple[Event, ...]
+    interval_seconds: float = TE_INTERVAL_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise SimulationError("interval_seconds must be positive")
+        events = tuple(
+            sorted(self.events, key=lambda e: (e.time, _PRIORITY[type(e)]))
+        )
+        if not any(isinstance(e, TrafficUpdate) for e in events):
+            raise SimulationError(
+                "an event schedule needs at least one TrafficUpdate"
+            )
+        object.__setattr__(self, "events", events)
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of traffic updates (= decisions a run will make)."""
+        return sum(1 for e in self.events if isinstance(e, TrafficUpdate))
+
+    def matrices(self) -> list[TrafficMatrix]:
+        """Traffic matrices in event order."""
+        return [
+            e.matrix for e in self.events if isinstance(e, TrafficUpdate)
+        ]
+
+    @classmethod
+    def from_trace(
+        cls,
+        matrices: list[TrafficMatrix],
+        interval_seconds: float = TE_INTERVAL_SECONDS,
+    ) -> "EventSchedule":
+        """One traffic update per interval, no capacity events."""
+        return cls(
+            events=tuple(
+                TrafficUpdate(time=t * interval_seconds, matrix=m)
+                for t, m in enumerate(matrices)
+            ),
+            interval_seconds=interval_seconds,
+        )
+
+    @classmethod
+    def from_failure_case(
+        cls,
+        matrices: list[TrafficMatrix],
+        interval_seconds: float = TE_INTERVAL_SECONDS,
+        failed_edges: tuple[int, ...] = (),
+        failure_at: int | None = None,
+        recover_at: int | None = None,
+    ) -> "EventSchedule":
+        """A trace with one failure (and optional recovery) event.
+
+        The failure strikes at interval ``failure_at`` *before* that
+        interval's traffic update, reproducing
+        :meth:`OnlineSimulator.run`'s ``failure_at`` timeline: interval
+        ``failure_at`` already computes — and is scored — against the
+        degraded capacities. ``recover_at`` (exclusive of further
+        degradation) restores the failed edges the same way.
+
+        Args:
+            matrices: Consecutive traffic matrices.
+            interval_seconds: TE interval length.
+            failed_edges: Directed edge ids that fail.
+            failure_at: Interval index the failure strikes (required
+                when ``failed_edges`` is non-empty).
+            recover_at: Optional interval index the links recover.
+
+        Raises:
+            SimulationError: On inconsistent failure arguments.
+        """
+        if bool(failed_edges) != (failure_at is not None):
+            raise SimulationError(
+                "failed_edges and failure_at must be provided together"
+            )
+        events: list[Event] = [
+            TrafficUpdate(time=t * interval_seconds, matrix=m)
+            for t, m in enumerate(matrices)
+        ]
+        if failure_at is not None:
+            events.append(
+                LinkFailure(
+                    time=failure_at * interval_seconds,
+                    edges=tuple(int(e) for e in failed_edges),
+                )
+            )
+            if recover_at is not None:
+                if recover_at <= failure_at:
+                    raise SimulationError(
+                        "recover_at must come after failure_at"
+                    )
+                events.append(
+                    LinkRecovery(
+                        time=recover_at * interval_seconds,
+                        edges=tuple(int(e) for e in failed_edges),
+                    )
+                )
+        return cls(events=tuple(events), interval_seconds=interval_seconds)
+
+    @classmethod
+    def from_grid_cell(
+        cls, suite, scenario, failure_count: int
+    ) -> "EventSchedule":
+        """The event schedule of one online grid cell.
+
+        Reuses the grid's own determinism contract: the failed links are
+        sampled with :func:`repro.sweep.grid.cell_seed` (stable across
+        processes) and the failure strikes at ``suite.failure_at``
+        (mid-trace when unset), so the schedule replays exactly the
+        scenario the cell's batched sweep evaluates.
+
+        Args:
+            suite: The :class:`~repro.sweep.grid.ScenarioSuite`.
+            scenario: The built :class:`~repro.harness.Scenario` of the
+                cell's (topology, seed) job.
+            failure_count: The cell's simultaneous-failure level
+                (0 = a plain trace, no capacity events).
+        """
+        # Imported lazily: repro.sweep.grid imports repro.simulation.
+        from ..sweep.grid import cell_seed
+        from ..topology.failures import sample_link_failures
+
+        matrices = scenario.split.test
+        if not failure_count:
+            return cls.from_trace(matrices, suite.interval_seconds)
+        failure_at = suite.failure_at
+        if failure_at is None:
+            failure_at = len(matrices) // 2
+        edges = sample_link_failures(
+            scenario.topology,
+            failure_count,
+            seed=cell_seed(scenario.name, scenario.seed, failure_count),
+        )
+        return cls.from_failure_case(
+            matrices,
+            suite.interval_seconds,
+            failed_edges=tuple(edges),
+            failure_at=failure_at,
+        )
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One control decision, with its *measured* latency.
+
+    Attributes:
+        interval: Interval index the decision was computed for.
+        time: Timestamp of the triggering traffic update.
+        latency: Measured wall-clock seconds of the decision pipeline
+            (the quantity p50/p99 decision latency is reported over).
+        compute_time: The scheme-reported compute time that drives the
+            deployment schedule (equals ``latency`` for warm decisions;
+            test doubles may report synthetic times).
+        warm: Whether the ADMM warm-start path produced this decision.
+        deploy_delay: Intervals until deployment (0 = within budget).
+    """
+
+    interval: int
+    time: float
+    latency: float
+    compute_time: float
+    warm: bool
+    deploy_delay: int
+
+
+@dataclass
+class StreamingRunResult:
+    """Aggregate of one streaming run: decisions, intervals, latencies."""
+
+    scheme: str
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    intervals: list[IntervalResult] = field(default_factory=list)
+    event_counts: dict[str, int] = field(default_factory=dict)
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile of measured decision latency (seconds)."""
+        if not self.decisions:
+            return 0.0
+        return float(
+            np.percentile([d.latency for d in self.decisions], q)
+        )
+
+    @property
+    def p50_latency(self) -> float:
+        """Median decision latency (seconds)."""
+        return self.latency_percentile(50)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile decision latency (seconds)."""
+        return self.latency_percentile(99)
+
+    @property
+    def warm_fraction(self) -> float:
+        """Fraction of decisions served by the ADMM warm-start path."""
+        if not self.decisions:
+            return 0.0
+        return float(np.mean([d.warm for d in self.decisions]))
+
+    @property
+    def mean_satisfied(self) -> float:
+        """Mean per-interval satisfied fraction."""
+        if not self.intervals:
+            return 0.0
+        return float(
+            np.mean([r.satisfied_fraction for r in self.intervals])
+        )
+
+    @property
+    def stale_fraction(self) -> float:
+        """Fraction of intervals served by stale routes."""
+        if not self.intervals:
+            return 0.0
+        return float(np.mean([r.stale for r in self.intervals]))
+
+    def satisfied_series(self) -> np.ndarray:
+        """(T,) satisfied fractions in interval order."""
+        return np.array([r.satisfied_fraction for r in self.intervals])
+
+    def to_online_result(self) -> OnlineRunResult:
+        """The run as an :class:`OnlineRunResult` (replay-compatible view)."""
+        return OnlineRunResult(scheme=self.scheme, intervals=list(self.intervals))
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (CLI/benchmark output)."""
+        return {
+            "scheme": self.scheme,
+            "num_decisions": len(self.decisions),
+            "p50_latency": self.p50_latency,
+            "p99_latency": self.p99_latency,
+            "warm_fraction": self.warm_fraction,
+            "mean_satisfied": self.mean_satisfied,
+            "stale_fraction": self.stale_fraction,
+            "event_counts": dict(self.event_counts),
+            "satisfied": [r.satisfied_fraction for r in self.intervals],
+            "latencies": [d.latency for d in self.decisions],
+            "compute_times": [d.compute_time for d in self.decisions],
+        }
+
+
+class StreamingEngine:
+    """Long-lived event-driven TE controller over one scheme.
+
+    Args:
+        pathset: The path set (fixed across the run; transient capacity
+            events enter via the event stream).
+        scheme: A TE scheme (duck-typed ``allocate``; Teal-style schemes
+            with ``admm``/``objective`` attributes additionally unlock
+            the warm-start path).
+        warm_start: Re-allocate incrementally (default) — ADMM
+            fine-tuning warm started from the previous interval's split
+            ratios — instead of running the full pipeline every
+            interval. Falls back to cold decisions for the first
+            interval and for schemes without an ADMM seam. Pass False
+            for the cold-only mode that reproduces
+            :meth:`OnlineSimulator.run` exactly.
+        warm_iterations: ADMM iteration budget of warm decisions
+            (None = the fine-tuner's configured count).
+    """
+
+    def __init__(
+        self,
+        pathset: PathSet,
+        scheme,
+        warm_start: bool = True,
+        warm_iterations: int | None = None,
+    ) -> None:
+        self.pathset = pathset
+        self.scheme = scheme
+        self.warm_start = warm_start
+        self.warm_iterations = warm_iterations
+
+    def _initial_allocation(self) -> Allocation:
+        """Everything on shortest paths — the pre-TE default routes."""
+        ratios = np.zeros((self.pathset.num_demands, self.pathset.max_paths))
+        ratios[:, 0] = 1.0
+        return Allocation(split_ratios=ratios, scheme="shortest-path-default")
+
+    def _warm_capable(self) -> bool:
+        """Whether the scheme exposes the ADMM warm-start seam."""
+        return (
+            getattr(self.scheme, "admm", None) is not None
+            and getattr(self.scheme, "objective", None) is not None
+        )
+
+    def _decide(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        previous_ratios: np.ndarray | None,
+    ) -> tuple[Allocation, bool]:
+        """One decision: warm ADMM-only re-allocation or a cold pipeline."""
+        if not (
+            self.warm_start
+            and previous_ratios is not None
+            and self._warm_capable()
+        ):
+            return (
+                self.scheme.allocate(self.pathset, demands, capacities),
+                False,
+            )
+        start = time.perf_counter()
+        tuned = self.scheme.admm.fine_tune(
+            previous_ratios, demands, capacities,
+            iterations=self.warm_iterations,
+        )
+        # The TealScheme acceptance rule, applied to the warm pair: keep
+        # the fine-tuned ratios only if they score at least as well as
+        # the warm start itself under the new demands/capacities.
+        objective = self.scheme.objective
+        if objective.reward(
+            self.pathset, tuned, demands, capacities
+        ) >= objective.reward(
+            self.pathset, previous_ratios, demands, capacities
+        ):
+            ratios = tuned
+        else:
+            ratios = previous_ratios
+        elapsed = time.perf_counter() - start
+        allocation = Allocation(
+            split_ratios=ratios,
+            compute_time=elapsed,
+            scheme=getattr(self.scheme, "name", "scheme"),
+            extras={
+                "warm_start": True,
+                "admm_time": elapsed,
+                "admm_iterations": (
+                    self.warm_iterations
+                    if self.warm_iterations is not None
+                    else self.scheme.admm.iterations
+                ),
+            },
+        )
+        return allocation, True
+
+    def run(
+        self,
+        schedule: EventSchedule,
+        capacities: np.ndarray | None = None,
+    ) -> StreamingRunResult:
+        """Drive the controller through an event schedule.
+
+        Decisions happen one event at a time — each traffic update
+        resolves pending deployments, computes a new allocation (timed
+        with ``perf_counter``), and submits it to the deployment
+        tracker — while scoring is deferred to one batched
+        :func:`evaluate_allocations_batch` pass over all intervals. The
+        scoring inputs are constructed through the very same recipe
+        :meth:`OnlineSimulator.run` uses (one ``demand_volumes_batch``
+        over the schedule's matrices, a broadcast-and-copy capacity
+        stack updated row by row, a preallocated deployed-ratio stack),
+        so a failure-case schedule reproduces the replay bit for bit —
+        identical float construction, not just identical values.
+
+        Args:
+            schedule: The event stream.
+            capacities: Nominal capacities (default: the topology's).
+                Failure events zero edges of these; recovery events
+                restore the nominal values exactly.
+
+        Returns:
+            A :class:`StreamingRunResult`.
+        """
+        nominal = np.asarray(
+            self.pathset.topology.capacities
+            if capacities is None
+            else capacities,
+            dtype=float,
+        )
+        current = nominal.copy()
+        failed: set[int] = set()
+        tracker = DeploymentTracker(
+            self._initial_allocation(), schedule.interval_seconds
+        )
+        result = StreamingRunResult(
+            scheme=getattr(self.scheme, "name", "scheme")
+        )
+        counts = {"traffic": 0, "failure": 0, "recovery": 0}
+        previous_ratios: np.ndarray | None = None
+        interval = -1
+
+        # Scoring stacks, built with the same construction recipe as
+        # OnlineSimulator.run so the batched evaluator sees arrays that
+        # are not merely equal in value but identically constructed
+        # (summation order in numpy reductions is layout-sensitive at
+        # the last ulp). The schedule is fully known here, so demand
+        # volumes for every traffic update can go through the one
+        # batched transform the replay uses; per-decision the engine
+        # reads row views of these stacks — exactly what the replay
+        # hands its scheme.
+        num_intervals = schedule.num_intervals
+        demands_all = self.pathset.demand_volumes_batch(
+            np.stack([m.values for m in schedule.matrices()])
+        )
+        caps_stack = np.broadcast_to(
+            nominal, (num_intervals, nominal.shape[0])
+        ).copy()
+        ratio_stack = np.empty(
+            (num_intervals, self.pathset.num_demands, self.pathset.max_paths)
+        )
+        ages = np.empty(num_intervals, dtype=int)
+
+        for event in schedule.events:
+            if isinstance(event, LinkFailure):
+                counts["failure"] += 1
+                edges = list(event.edges)
+                current[edges] = 0.0
+                failed.update(event.edges)
+            elif isinstance(event, LinkRecovery):
+                counts["recovery"] += 1
+                edges = sorted(event.edges or failed)
+                current[edges] = nominal[edges]
+                failed.difference_update(edges)
+            else:
+                counts["traffic"] += 1
+                interval += 1
+                tracker.resolve(interval)
+                caps_stack[interval] = current
+                demands = demands_all[interval]
+                caps_now = caps_stack[interval]
+
+                start = time.perf_counter()
+                allocation, warm = self._decide(
+                    demands, caps_now, previous_ratios
+                )
+                latency = time.perf_counter() - start
+                previous_ratios = allocation.split_ratios
+                delay = tracker.submit(interval, allocation)
+
+                result.decisions.append(
+                    DecisionRecord(
+                        interval=interval,
+                        time=event.time,
+                        latency=latency,
+                        compute_time=allocation.compute_time,
+                        warm=warm,
+                        deploy_delay=delay,
+                    )
+                )
+                ratio_stack[interval] = tracker.deployed.split_ratios
+                ages[interval] = tracker.age(interval)
+
+        batch_report = evaluate_allocations_batch(
+            self.pathset, ratio_stack, demands_all, caps_stack
+        )
+        for t in range(num_intervals):
+            result.intervals.append(
+                IntervalResult(
+                    interval=t,
+                    satisfied_fraction=float(
+                        batch_report.satisfied_fraction[t]
+                    ),
+                    allocation_age=int(ages[t]),
+                    compute_time=result.decisions[t].compute_time,
+                    stale=bool(ages[t] > 0),
+                )
+            )
+        result.event_counts = counts
+        return result

@@ -75,19 +75,25 @@ def failure_scenarios(
 ) -> list[tuple[float, list[int]]]:
     """Enumerate weighted failure scenarios for TEAVAR-style TE (§5.1).
 
-    Scenarios cover "no failure" plus every single-physical-link failure
-    (and optionally is truncated to the ``max_failures`` most impactful
-    ones by capacity). Probabilities follow independent Bernoulli failures
+    Scenarios cover "no failure" plus every single-physical-link
+    failure. Probabilities follow independent Bernoulli failures
     truncated at one simultaneous failure, renormalized.
 
     Args:
         topology: The topology.
         failure_probability: Per-physical-link failure probability.
-        max_failures: Cap on simultaneous failures modeled (1 reproduces
-            TEAVAR*'s dominant single-failure scenario set).
+        max_failures: Cap on simultaneous failures modeled. Only the
+            single-failure scenario set is implemented (the dominant
+            set TEAVAR* uses); any value other than 1 raises — the
+            parameter exists so multi-failure support can land without
+            an API change.
 
     Returns:
         List of ``(probability, failed_edge_ids)``; probabilities sum to 1.
+
+    Raises:
+        TopologyError: If ``failure_probability`` is outside ``[0, 1)``
+            or ``max_failures`` is not 1.
     """
     if not 0 <= failure_probability < 1:
         raise TopologyError("failure_probability must be in [0, 1)")

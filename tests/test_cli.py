@@ -42,6 +42,38 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--cache-dir", "cache"])
         assert args.cache_dir == "cache"
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.topology == "B4"
+        assert args.matrices == 6
+        assert args.schemes == ["Teal"]
+        assert args.failures == 0
+        assert args.failure_at is None
+        assert args.interval_seconds == 300.0
+        assert args.cold is False
+        assert args.warm_iterations is None
+
+    def test_stream_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "stream",
+                "--topology", "SWAN",
+                "--schemes", "LP-all", "Teal",
+                "--failures", "2",
+                "--failure-at", "1",
+                "--recover-at", "3",
+                "--cold",
+                "--output", "stream.json",
+            ]
+        )
+        assert args.topology == "SWAN"
+        assert args.schemes == ["LP-all", "Teal"]
+        assert args.failures == 2
+        assert args.failure_at == 1
+        assert args.recover_at == 3
+        assert args.cold is True
+        assert args.output == "stream.json"
+
     def test_sweep_arguments(self):
         args = build_parser().parse_args(
             [
@@ -132,6 +164,33 @@ class TestCommands:
             c.run.satisfied for c in cold.cells
         ]
         assert (tmp_path / "cache").glob("scenario-*.npz")
+
+    def test_stream_runs_small(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "stream.json"
+        code = main(
+            [
+                "stream",
+                "--topology", "B4",
+                "--schemes", "LP-all",
+                "--matrices", "3",
+                "--failures", "1",
+                "--recover-at", "2",
+                "--failure-at", "1",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LP-all" in out
+        assert "p50 lat" in out
+        summary = json.loads(output.read_text())
+        assert summary["LP-all"]["num_decisions"] == 3
+        assert summary["LP-all"]["event_counts"] == {
+            "traffic": 3, "failure": 1, "recovery": 1
+        }
+        assert len(summary["LP-all"]["latencies"]) == 3
 
     def test_train_runs_small(self, capsys):
         code = main(

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simulation import Allocation, OnlineSimulator
+from repro.simulation import Allocation, DeploymentTracker, OnlineSimulator
 from repro.simulation.metrics import SchemeRun, format_comparison_table, speedup
 
 
@@ -88,6 +88,95 @@ class TestOnlineSimulator:
         sim = OnlineSimulator(b4_pathset)
         result = sim.run(FixedTimeScheme(1.0), b4_trace.matrices[:5])
         assert result.satisfied_series().shape == (5,)
+
+
+def _marked_allocation(marker: float, compute_time: float) -> Allocation:
+    """An allocation whose ratios identify it (ratios[0, 0] == marker)."""
+    ratios = np.zeros((2, 2))
+    ratios[0, 0] = marker
+    return Allocation(
+        split_ratios=ratios, compute_time=compute_time, scheme="marked"
+    )
+
+
+class TestDeploymentTracker:
+    """Regression tests for the §5.1 deployment-schedule semantics."""
+
+    def _tracker(self) -> DeploymentTracker:
+        return DeploymentTracker(
+            _marked_allocation(-1.0, 0.0), interval_seconds=300.0
+        )
+
+    def test_within_budget_deploys_immediately(self):
+        tracker = self._tracker()
+        assert tracker.submit(0, _marked_allocation(0.0, 10.0)) == 0
+        assert tracker.deployed.split_ratios[0, 0] == 0.0
+        assert tracker.age(0) == 0
+
+    def test_slow_allocation_queues_then_deploys(self):
+        tracker = self._tracker()
+        assert tracker.submit(0, _marked_allocation(0.0, 700.0)) == 2
+        tracker.resolve(1)
+        assert tracker.deployed.split_ratios[0, 0] == -1.0  # still default
+        assert tracker.age(1) == 1
+        tracker.resolve(2)
+        assert tracker.deployed.split_ratios[0, 0] == 0.0
+        assert tracker.age(2) == 2
+
+    def test_slow_inflight_does_not_regress_fresh_deployment(self):
+        """The fixed bug: a slow allocation started at interval 0 finishing
+        at interval 2 must not overwrite interval 1's fresh deployment."""
+        tracker = self._tracker()
+        tracker.submit(0, _marked_allocation(0.0, 700.0))  # ready at t=2
+        tracker.resolve(1)
+        tracker.submit(1, _marked_allocation(1.0, 10.0))  # deploys now
+        assert tracker.deployed.split_ratios[0, 0] == 1.0
+        tracker.resolve(2)  # interval 0's stale result is discarded
+        assert tracker.deployed.split_ratios[0, 0] == 1.0
+        assert tracker.deployed_started == 1
+        assert tracker.age(2) == 1
+
+    def test_freshest_of_several_ready_wins(self):
+        tracker = self._tracker()
+        tracker.submit(0, _marked_allocation(0.0, 900.0))  # ready at t=3
+        tracker.resolve(1)
+        tracker.submit(1, _marked_allocation(1.0, 600.0))  # ready at t=3
+        tracker.resolve(3)
+        assert tracker.deployed.split_ratios[0, 0] == 1.0
+        assert tracker.deployed_started == 1
+
+    def test_interval_zero_delayed_allocation_still_deploys(self):
+        """The default predates every decision: interval 0's delayed
+        result must replace it (guard is strict on real decisions only)."""
+        tracker = self._tracker()
+        tracker.submit(0, _marked_allocation(0.0, 400.0))  # ready at t=1
+        tracker.resolve(1)
+        assert tracker.deployed.split_ratios[0, 0] == 0.0
+        assert tracker.deployed_started == 0
+
+    def test_run_ages_with_heterogeneous_compute_times(
+        self, b4_pathset, b4_trace
+    ):
+        """End to end: ages reflect the anti-regression guard (interval 2
+        keeps interval 1's allocation at age 1, not interval 0's at 2)."""
+
+        class ScriptedTimeScheme(FixedTimeScheme):
+            def __init__(self, times):
+                super().__init__(times[0])
+                self.times = times
+
+            def allocate(self, pathset, demands, capacities=None):
+                self.compute_time = self.times[
+                    min(self.calls, len(self.times) - 1)
+                ]
+                return super().allocate(pathset, demands, capacities)
+
+        sim = OnlineSimulator(b4_pathset, interval_seconds=300.0)
+        result = sim.run(
+            ScriptedTimeScheme([700.0, 10.0, 400.0, 10.0]),
+            b4_trace.matrices[:4],
+        )
+        assert [r.allocation_age for r in result.intervals] == [0, 0, 1, 0]
 
 
 class TestMetrics:

@@ -1,0 +1,346 @@
+"""Tests for the event-driven streaming TE engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.admm import AdmmFineTuner
+from repro.exceptions import SimulationError
+from repro.lp.objectives import TotalFlowObjective
+from repro.simulation import (
+    Allocation,
+    EventSchedule,
+    LinkFailure,
+    LinkRecovery,
+    OnlineSimulator,
+    StreamingEngine,
+    TrafficUpdate,
+)
+
+from test_online_simulation import FixedTimeScheme
+
+
+class ScriptedTimeScheme(FixedTimeScheme):
+    """LP-backed scheme whose compute time follows a per-call script."""
+
+    def __init__(self, times: list[float], name: str = "scripted") -> None:
+        super().__init__(times[0], name)
+        self.times = list(times)
+
+    def allocate(self, pathset, demands, capacities=None):
+        self.compute_time = self.times[min(self.calls, len(self.times) - 1)]
+        return super().allocate(pathset, demands, capacities)
+
+
+class RecordingScheme:
+    """Test double that records the capacities every decision sees."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        self.seen_capacities: list[np.ndarray] = []
+
+    def allocate(self, pathset, demands, capacities=None):
+        self.seen_capacities.append(np.array(capacities, copy=True))
+        ratios = np.zeros((pathset.num_demands, pathset.max_paths))
+        ratios[:, 0] = 1.0
+        return Allocation(ratios, compute_time=1.0, scheme=self.name)
+
+
+class WarmCapableScheme(FixedTimeScheme):
+    """LP allocations plus the ADMM warm-start seam Teal exposes."""
+
+    def __init__(self, pathset) -> None:
+        super().__init__(1.0, "warmable")
+        self.admm = AdmmFineTuner(pathset)
+        self.objective = TotalFlowObjective()
+
+
+class TestEventSchedule:
+    def test_from_trace(self, b4_trace):
+        mats = b4_trace.matrices[:4]
+        schedule = EventSchedule.from_trace(mats, interval_seconds=300.0)
+        assert schedule.num_intervals == 4
+        assert schedule.matrices() == mats
+        assert [e.time for e in schedule.events] == [0.0, 300.0, 600.0, 900.0]
+
+    def test_events_sorted_capacity_first(self, b4_trace):
+        mats = b4_trace.matrices[:3]
+        # Deliberately unsorted; failure shares interval 1's timestamp.
+        schedule = EventSchedule(
+            events=(
+                TrafficUpdate(time=600.0, matrix=mats[2]),
+                TrafficUpdate(time=0.0, matrix=mats[0]),
+                TrafficUpdate(time=300.0, matrix=mats[1]),
+                LinkFailure(time=300.0, edges=(0, 1)),
+            ),
+            interval_seconds=300.0,
+        )
+        kinds = [type(e).__name__ for e in schedule.events]
+        assert kinds == [
+            "TrafficUpdate", "LinkFailure", "TrafficUpdate", "TrafficUpdate"
+        ]
+
+    def test_validation(self, b4_trace):
+        mats = b4_trace.matrices[:2]
+        with pytest.raises(SimulationError):
+            EventSchedule(events=(), interval_seconds=300.0)
+        with pytest.raises(SimulationError):
+            EventSchedule(
+                events=(LinkFailure(time=0.0, edges=(0,)),),
+                interval_seconds=300.0,
+            )
+        with pytest.raises(SimulationError):
+            EventSchedule.from_trace(mats, interval_seconds=0.0)
+        with pytest.raises(SimulationError):
+            EventSchedule.from_failure_case(mats, failed_edges=(0,))
+        with pytest.raises(SimulationError):
+            EventSchedule.from_failure_case(mats, failure_at=1)
+        with pytest.raises(SimulationError):
+            EventSchedule.from_failure_case(
+                mats, failed_edges=(0,), failure_at=1, recover_at=1
+            )
+
+    def test_from_failure_case_timeline(self, b4_trace):
+        mats = b4_trace.matrices[:4]
+        schedule = EventSchedule.from_failure_case(
+            mats,
+            interval_seconds=300.0,
+            failed_edges=(2, 3),
+            failure_at=1,
+            recover_at=3,
+        )
+        failures = [e for e in schedule.events if isinstance(e, LinkFailure)]
+        recoveries = [
+            e for e in schedule.events if isinstance(e, LinkRecovery)
+        ]
+        assert failures[0].time == 300.0 and failures[0].edges == (2, 3)
+        assert recoveries[0].time == 900.0 and recoveries[0].edges == (2, 3)
+        # The failure precedes interval 1's traffic update in the stream.
+        order = [type(e).__name__ for e in schedule.events]
+        assert order.index("LinkFailure") < order.index("TrafficUpdate") + 2
+
+    def test_from_grid_cell_deterministic(self):
+        from repro.harness import build_scenario
+        from repro.sweep.grid import ScenarioSuite
+
+        suite = ScenarioSuite(
+            topologies=("B4",),
+            mode="online",
+            train=4,
+            validation=1,
+            test=4,
+        )
+        scenario = build_scenario("B4", train=4, validation=1, test=4)
+        a = EventSchedule.from_grid_cell(suite, scenario, failure_count=1)
+        b = EventSchedule.from_grid_cell(suite, scenario, failure_count=1)
+        fa = [e for e in a.events if isinstance(e, LinkFailure)]
+        fb = [e for e in b.events if isinstance(e, LinkFailure)]
+        assert fa[0].edges == fb[0].edges
+        # failure_at defaults to mid-trace.
+        assert fa[0].time == (len(scenario.split.test) // 2) * suite.interval_seconds
+        zero = EventSchedule.from_grid_cell(suite, scenario, failure_count=0)
+        assert not any(isinstance(e, LinkFailure) for e in zero.events)
+
+
+class TestStreamingEquivalence:
+    def test_matches_online_simulator_exactly(self, b4_pathset, b4_trace):
+        """The ISSUE acceptance case: a single-failure schedule replayed
+        through the streaming engine reproduces OnlineSimulator.run's
+        per-interval satisfied fractions bit for bit."""
+        mats = b4_trace.matrices[:6]
+        caps = b4_pathset.topology.capacities.copy()
+        edges = (0, 1, 2, 3)
+        failed = caps.copy()
+        failed[list(edges)] = 0.0
+
+        sim = OnlineSimulator(b4_pathset, interval_seconds=300.0)
+        ref = sim.run(
+            FixedTimeScheme(700.0),
+            mats,
+            capacities=caps,
+            failure_at=2,
+            failed_capacities=failed,
+        )
+        engine = StreamingEngine(
+            b4_pathset, FixedTimeScheme(700.0), warm_start=False
+        )
+        schedule = EventSchedule.from_failure_case(
+            mats, interval_seconds=300.0, failed_edges=edges, failure_at=2
+        )
+        run = engine.run(schedule, capacities=caps)
+
+        assert np.array_equal(
+            run.satisfied_series(), ref.satisfied_series()
+        )
+        for mine, theirs in zip(run.intervals, ref.intervals):
+            assert mine.allocation_age == theirs.allocation_age
+            assert mine.stale == theirs.stale
+            assert mine.compute_time == theirs.compute_time
+        assert run.event_counts == {"traffic": 6, "failure": 1, "recovery": 0}
+
+    def test_matches_online_simulator_no_failure(self, b4_pathset, b4_trace):
+        mats = b4_trace.matrices[:5]
+        sim = OnlineSimulator(b4_pathset, interval_seconds=300.0)
+        ref = sim.run(FixedTimeScheme(1.0), mats)
+        engine = StreamingEngine(
+            b4_pathset, FixedTimeScheme(1.0), warm_start=False
+        )
+        run = engine.run(EventSchedule.from_trace(mats, 300.0))
+        assert np.array_equal(run.satisfied_series(), ref.satisfied_series())
+        assert run.to_online_result().mean_satisfied == ref.mean_satisfied
+
+    def test_out_of_order_completions_match_replay(
+        self, b4_pathset, b4_trace
+    ):
+        """Heterogeneous compute times: a slow in-flight decision finishing
+        after a fresher one must not regress routes — in either engine."""
+        mats = b4_trace.matrices[:5]
+        times = [700.0, 10.0, 400.0, 10.0, 10.0]
+        sim = OnlineSimulator(b4_pathset, interval_seconds=300.0)
+        ref = sim.run(ScriptedTimeScheme(times), mats)
+        engine = StreamingEngine(
+            b4_pathset, ScriptedTimeScheme(times), warm_start=False
+        )
+        run = engine.run(EventSchedule.from_trace(mats, 300.0))
+        # Interval 2: interval 0's slow decision (ready now) loses to the
+        # deployed interval-1 decision; interval 2's own takes one interval.
+        assert [r.allocation_age for r in run.intervals] == [0, 0, 1, 0, 0]
+        assert [r.allocation_age for r in ref.intervals] == [0, 0, 1, 0, 0]
+        assert np.array_equal(run.satisfied_series(), ref.satisfied_series())
+
+
+class TestCapacityEvents:
+    def test_failure_then_recovery_restores_nominal_bit_for_bit(
+        self, b4_pathset, b4_trace
+    ):
+        mats = b4_trace.matrices[:5]
+        nominal = b4_pathset.topology.capacities.copy()
+        edges = (0, 1, 4, 5)
+        scheme = RecordingScheme()
+        engine = StreamingEngine(b4_pathset, scheme, warm_start=False)
+        schedule = EventSchedule.from_failure_case(
+            mats,
+            interval_seconds=300.0,
+            failed_edges=edges,
+            failure_at=1,
+            recover_at=3,
+        )
+        run = engine.run(schedule, capacities=nominal)
+        assert run.event_counts == {"traffic": 5, "failure": 1, "recovery": 1}
+        seen = scheme.seen_capacities
+        assert np.array_equal(seen[0], nominal)
+        for t in (1, 2):
+            assert np.all(seen[t][list(edges)] == 0.0)
+        for t in (3, 4):
+            assert np.array_equal(seen[t], nominal)
+
+    def test_recovery_without_edges_restores_all_failed(
+        self, b4_pathset, b4_trace
+    ):
+        mats = b4_trace.matrices[:3]
+        nominal = b4_pathset.topology.capacities.copy()
+        scheme = RecordingScheme()
+        engine = StreamingEngine(b4_pathset, scheme, warm_start=False)
+        schedule = EventSchedule(
+            events=(
+                TrafficUpdate(time=0.0, matrix=mats[0]),
+                LinkFailure(time=300.0, edges=(0, 1)),
+                LinkFailure(time=300.0, edges=(6,)),
+                TrafficUpdate(time=300.0, matrix=mats[1]),
+                LinkRecovery(time=600.0),  # no edges: restore everything
+                TrafficUpdate(time=600.0, matrix=mats[2]),
+            ),
+            interval_seconds=300.0,
+        )
+        engine.run(schedule, capacities=nominal)
+        assert np.all(scheme.seen_capacities[1][[0, 1, 6]] == 0.0)
+        assert np.array_equal(scheme.seen_capacities[2], nominal)
+
+
+class TestWarmStart:
+    def test_first_decision_cold_rest_warm(self, b4_pathset, b4_trace):
+        mats = b4_trace.matrices[:4]
+        scheme = WarmCapableScheme(b4_pathset)
+        engine = StreamingEngine(
+            b4_pathset, scheme, warm_start=True, warm_iterations=2
+        )
+        run = engine.run(EventSchedule.from_trace(mats, 300.0))
+        assert [d.warm for d in run.decisions] == [False, True, True, True]
+        assert run.warm_fraction == pytest.approx(0.75)
+        # Only the cold decision hits the full allocate pipeline.
+        assert scheme.calls == 1
+        # Warm decisions report measured wall-clock as compute time
+        # (timed inside the decision, so bounded by the recorded latency).
+        for d in run.decisions[1:]:
+            assert 0.0 < d.compute_time <= d.latency
+
+    def test_warm_start_disabled_is_all_cold(self, b4_pathset, b4_trace):
+        mats = b4_trace.matrices[:3]
+        scheme = WarmCapableScheme(b4_pathset)
+        engine = StreamingEngine(b4_pathset, scheme, warm_start=False)
+        run = engine.run(EventSchedule.from_trace(mats, 300.0))
+        assert all(not d.warm for d in run.decisions)
+        assert scheme.calls == 3
+
+    def test_scheme_without_admm_seam_falls_back_cold(
+        self, b4_pathset, b4_trace
+    ):
+        mats = b4_trace.matrices[:3]
+        engine = StreamingEngine(
+            b4_pathset, FixedTimeScheme(1.0), warm_start=True
+        )
+        run = engine.run(EventSchedule.from_trace(mats, 300.0))
+        assert all(not d.warm for d in run.decisions)
+        assert run.warm_fraction == 0.0
+
+    def test_result_summary_fields(self, b4_pathset, b4_trace):
+        mats = b4_trace.matrices[:3]
+        engine = StreamingEngine(
+            b4_pathset, WarmCapableScheme(b4_pathset), warm_iterations=1
+        )
+        run = engine.run(EventSchedule.from_trace(mats, 300.0))
+        summary = run.to_dict()
+        assert summary["num_decisions"] == 3
+        assert 0.0 <= summary["p50_latency"] <= summary["p99_latency"]
+        assert len(summary["satisfied"]) == 3
+        assert len(summary["latencies"]) == 3
+        assert run.latency_percentile(0) <= run.p50_latency
+
+
+class TestRunStreamingSweep:
+    def test_sweep_over_schedules_and_schemes(self, b4_trace):
+        from repro.harness import build_scenario, run_streaming_sweep
+
+        scenario = build_scenario("B4", train=4, validation=1, test=4)
+        mats = scenario.split.test
+        schemes = {
+            "fixed": FixedTimeScheme(1.0),
+            "warmable": WarmCapableScheme(scenario.pathset),
+        }
+        schedules = {
+            0: EventSchedule.from_trace(mats, 300.0),
+            1: EventSchedule.from_failure_case(
+                mats,
+                interval_seconds=300.0,
+                failed_edges=(0, 1),
+                failure_at=2,
+            ),
+        }
+        results = run_streaming_sweep(
+            scenario, schemes, schedules, warm_iterations=1
+        )
+        assert set(results) == {0, 1}
+        for key in results:
+            assert set(results[key]) == {"fixed", "warmable"}
+            for run in results[key].values():
+                assert len(run.intervals) == len(mats)
+        assert results[1]["fixed"].event_counts["failure"] == 1
+        assert results[0]["warmable"].warm_fraction > 0.5
+
+    def test_empty_schedules(self):
+        from repro.harness import build_scenario, run_streaming_sweep
+
+        scenario = build_scenario("B4", train=4, validation=1, test=4)
+        assert run_streaming_sweep(scenario, {}, {}) == {}

@@ -101,5 +101,14 @@ class TestFailures:
     def test_failure_scenarios_validation(self, b4_topology):
         with pytest.raises(TopologyError):
             failure_scenarios(b4_topology, 1.5)
-        with pytest.raises(TopologyError):
-            failure_scenarios(b4_topology, 0.1, max_failures=2)
+
+    def test_failure_scenarios_rejects_non_single_max_failures(
+        self, b4_topology
+    ):
+        """The documented contract: only the single-failure scenario set
+        is implemented; every other max_failures raises."""
+        for max_failures in (0, 2, 5, -1):
+            with pytest.raises(TopologyError):
+                failure_scenarios(b4_topology, 0.1, max_failures=max_failures)
+        # max_failures=1 is the supported (default) contract.
+        assert failure_scenarios(b4_topology, 0.1, max_failures=1)
