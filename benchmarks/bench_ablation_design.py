@@ -15,7 +15,6 @@ reproduction had to make:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.config import AdmmConfig, TrainingConfig
 from repro.core import AdmmFineTuner, ComaTrainer, DirectLossTrainer, TealModel

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness import make_baselines, run_offline_comparison

@@ -59,7 +59,6 @@ def ablation_results(swan_scenario, training_config):
     scenario = swan_scenario
     matrices = scenario.split.train
     test = scenario.split.test[:4]
-    objective = TotalFlowObjective()
     results: dict[str, float] = {}
 
     teal = trained_teal(scenario, config=training_config)

@@ -12,7 +12,6 @@ Sweeps (on the SWAN scenario, with short training budgets):
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.config import TealHyperparameters, TrainingConfig
 from repro.core import TealScheme

@@ -10,7 +10,6 @@ LP-all optimum, and check that busy paths form a visible cluster
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import busy_path_labels, cluster_separation_score, tsne
 from repro.baselines import LpAll

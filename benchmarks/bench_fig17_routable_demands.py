@@ -9,7 +9,6 @@ paths on hub-hub links while most edges are leaf spokes).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.topology import routable_demand_fraction_per_edge
 

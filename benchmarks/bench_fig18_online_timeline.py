@@ -8,9 +8,6 @@ changes; LP-based schemes periodically serve stale routes and dip.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.harness import (
     make_baselines,
     run_offline_comparison,

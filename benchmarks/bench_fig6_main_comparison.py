@@ -15,7 +15,6 @@ satisfies comparable-or-more demand than the decomposition baselines.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness import (

@@ -9,7 +9,6 @@ demand dominates the decomposition baselines across percentiles.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness import make_baselines, run_offline_comparison
@@ -46,9 +45,6 @@ def test_fig7a_time_cdf(benchmark, asn_runs):
     # Teal's p90/p10 spread is small (0.89-1.08s at all percentiles in
     # the paper); LP-based schemes fluctuate much more.
     teal_spread = teal.time_percentile(90) / max(teal.time_percentile(10), 1e-9)
-    lp_spread = asn_runs["LP-top"].time_percentile(90) / max(
-        asn_runs["LP-top"].time_percentile(10), 1e-9
-    )
     assert teal_spread < 3.0
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 

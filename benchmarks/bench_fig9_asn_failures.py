@@ -9,7 +9,6 @@ instance (same fraction of physical links) and the scaled TE interval.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness import (

@@ -8,8 +8,6 @@ Every scheme in this reproduction attaches its components to
 
 from __future__ import annotations
 
-import pytest
-
 from repro.harness import make_baselines, run_offline_comparison
 
 from conftest import print_series, teal_for

@@ -17,11 +17,10 @@ Conventions:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import TrainingConfig
-from repro.harness import build_scenario, make_baselines, trained_teal
+from repro.harness import build_scenario, trained_teal
 
 
 def _training_budget() -> TrainingConfig:

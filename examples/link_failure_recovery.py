@@ -18,8 +18,6 @@ Run:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.harness import (
     build_scenario,
     make_baselines,

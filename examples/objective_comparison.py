@@ -21,7 +21,6 @@ import numpy as np
 
 from repro import LpAll, TrainingConfig, get_objective
 from repro.harness import build_scenario, run_offline_comparison, trained_teal
-from repro.lp import DelayPenalizedFlowObjective
 
 
 def main() -> None:

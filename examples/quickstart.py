@@ -17,8 +17,6 @@ Run:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import (
     AdmmConfig,
     LpAll,

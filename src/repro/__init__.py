@@ -51,8 +51,8 @@ from .harness import (
 )
 from .lp import get_objective
 from .paths import PathSet
-from .sweep import GridResult, ScenarioSuite, run_scenario_grid
 from .simulation import Allocation, OnlineSimulator, evaluate_allocation
+from .sweep import GridResult, ScenarioSuite, run_scenario_grid
 from .topology import Topology, get_topology
 from .traffic import TrafficMatrix, TrafficTrace
 

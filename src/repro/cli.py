@@ -9,14 +9,13 @@ Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
     teal-repro sweep --topologies B4 SWAN # cross-topology scenario grid
     teal-repro stream --topology B4       # event-driven streaming online TE
     teal-repro analyze grid1.json grid2.json  # aggregate grid analytics
+    teal-repro lint                       # RL001-RL004 static analysis
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 
 def _cmd_topologies(args: argparse.Namespace) -> int:
@@ -279,6 +278,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .exceptions import ReproError
+    from .lint.baseline import (
+        apply_baseline,
+        load_baseline,
+        save_baseline,
+        updated_entries,
+    )
+    from .lint.engine import lint_paths
+    from .lint.report import format_json, format_text
+
+    try:
+        findings = lint_paths(args.paths)
+        entries = load_baseline(args.baseline)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        entries = updated_entries(findings, entries)
+        try:
+            save_baseline(args.baseline, entries)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote {args.baseline}: {len(entries)} entries covering "
+            f"{len(findings)} finding(s)"
+        )
+        return 0
+    match = apply_baseline(findings, entries)
+    if args.format == "json":
+        sys.stdout.write(format_json(match))
+    else:
+        print(format_text(match, explain=args.explain))
+    return 1 if match.new else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -434,6 +470,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, help="write the speedup-curve CSV here"
     )
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="invariant-checking static analysis (dtype policy, kernel "
+        "aliasing, determinism, dispatch seam); exit 1 on findings "
+        "not covered by the baseline",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    p_lint.add_argument(
+        "--baseline", default="lint_baseline.json",
+        help="baseline file of grandfathered findings "
+        "(default: lint_baseline.json; missing file == empty baseline)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover exactly the current "
+        "findings (justifications of surviving entries are preserved)",
+    )
+    p_lint.add_argument(
+        "--explain", action="store_true",
+        help="append rule documentation for every rule that fired",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

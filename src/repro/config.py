@@ -8,7 +8,7 @@ the paper's defaults so benches and examples agree on them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Number of precomputed candidate paths per demand (4 shortest paths, §2/§5.1).
 NUM_PATHS_PER_DEMAND = 4

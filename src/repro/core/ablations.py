@@ -25,7 +25,8 @@ import scipy.sparse as sp
 from ..config import TealHyperparameters
 from ..exceptions import ModelError
 from ..nn import functional as F
-from ..nn.layers import Linear, Module, mlp
+from ..nn.layers import Linear, mlp
+from ..nn.precision import EVALUATION_DTYPE
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
 from .flowgnn import FlowGNN
@@ -68,7 +69,9 @@ class NaiveDnnModel(AllocatorModel):
 
     def logits(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
         scale = max(float(np.mean(capacities)), 1e-9)
-        x = Tensor((np.asarray(demands, float) / scale).reshape(1, -1))
+        x = Tensor(
+            (np.asarray(demands, EVALUATION_DTYPE) / scale).reshape(1, -1)
+        )
         out = self.net(x)
         return out.reshape(self.pathset.num_demands, self.pathset.max_paths)
 
@@ -130,8 +133,8 @@ class NaiveGnnModel(AllocatorModel):
 
     def logits(self, demands: np.ndarray, capacities: np.ndarray) -> Tensor:
         topo = self.pathset.topology
-        demands = np.asarray(demands, dtype=float)
-        capacities = np.asarray(capacities, dtype=float)
+        demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
+        capacities = np.asarray(capacities, dtype=EVALUATION_DTYPE)
         scale = max(float(capacities.mean()), 1e-9)
         # Node features: total outgoing demand and outgoing capacity.
         out_demand = np.zeros(topo.num_nodes)

@@ -42,7 +42,7 @@ import numpy as np
 
 from ..config import AdmmConfig
 from ..exceptions import ModelError
-from ..nn.precision import Precision, resolve_precision
+from ..nn.precision import EVALUATION_DTYPE, Precision, resolve_precision
 from ..paths.pathset import PathSet
 from ..topology.graph import broadcast_capacities
 from .batching import (
@@ -92,7 +92,7 @@ def _build_structures(pathset: PathSet) -> _AdmmStructures:
     return _AdmmStructures(
         pair_path=coo.col.astype(np.int64),
         pair_edge=coo.row.astype(np.int64),
-        hops=pathset.path_hop_counts.astype(float),
+        hops=pathset.path_hop_counts.astype(EVALUATION_DTYPE),
         paths_per_edge=np.asarray(
             pathset.edge_path_incidence.sum(axis=1)
         ).reshape(-1),
@@ -133,7 +133,7 @@ class AdmmFineTuner:
         self.structures = _build_structures(pathset)
         if path_values is None:
             path_values = np.ones(pathset.num_paths)
-        path_values = np.asarray(path_values, dtype=float)
+        path_values = np.asarray(path_values, dtype=EVALUATION_DTYPE)
         if path_values.shape != (pathset.num_paths,):
             raise ModelError("path_values shape mismatch")
         self.path_values = path_values
@@ -389,7 +389,8 @@ class AdmmFineTuner:
         if capacities is None:
             capacities = self.pathset.topology.capacities
         flows = self.pathset.split_ratios_to_path_flows(
-            np.clip(split_ratios, 0.0, 1.0), np.asarray(demands, float)
+            np.clip(split_ratios, 0.0, 1.0),
+            np.asarray(demands, EVALUATION_DTYPE),
         )
         loads = self.pathset.edge_loads(flows)
         return float(np.maximum(loads - capacities, 0.0).sum())

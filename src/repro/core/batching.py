@@ -29,9 +29,44 @@ fused result is bit-identical to the naive elementwise form at any fixed
 dtype (asserted by ``tests/test_precision.py``). A :class:`Workspace`
 owns the buffers, keyed by call-site name, so repeated inference calls
 (sweeps, ADMM iterations) stop allocating entirely after the first pass.
+
+**Kernel aliasing contracts.** Every ``out=``-style kernel declares
+which arguments it clobbers and which pairs may legally alias; the
+machine-readable form is :data:`KERNEL_CONTRACTS` (cross-referenced by
+lint rule RL002 and enforced at runtime under ``REPRO_SANITIZE=1`` —
+see :mod:`repro.lint.sanitize`). Summary:
+
+======================== ================= ============ =========== ==============
+kernel                   writes            inout        scratch     may alias
+======================== ================= ============ =========== ==============
+``csr_matmul_into``      out               —            —           —
+``pair_linear_into``     out               —            scratch     —
+``linear_into``          out               —            —           —
+``tanh_``                —                 x            —           n/a (in-place)
+``relu_``                —                 x            —           n/a (in-place)
+``take_rows_into``       out               —            —           —
+``padded_take_rows_into`` out              —            —           —
+``masked_softmax_into``  out               —            reduce_buf  logits == out
+``admm_f_rhs_into``      out               —            tmp         —
+``admm_f_solve_into``    out               —            —           —
+``admm_z_rhs_into``      out               slack_g,     —           lam3_g == out
+                                           flow_g
+``admm_z_solve_into``    out               —            —           —
+``admm_slack_into``      out               —            tmp         —
+``admm_dual_step_``      —                 dual         tmp         —
+``SegmentOps.expand_into`` out             —            —           —
+======================== ================= ============ =========== ==============
+
+"may alias" pairs are exact-view aliases only (same base pointer,
+shape, strides): the safe elementwise case actually used by call
+sites. Partial overlap is never legal. All other argument pairs
+involving a clobbered buffer must be disjoint.
 """
 
 from __future__ import annotations
+
+import os
+from typing import NamedTuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -42,6 +77,10 @@ try:  # scipy's typed C kernels; fall back to `csr @ dense` if moved.
     _CSR_MATVECS = _sparsetools.csr_matvecs
 except (ImportError, AttributeError):  # pragma: no cover - scipy internal
     _CSR_MATVECS = None
+
+#: Armed by repro.lint.sanitize.install_sanitizers (REPRO_SANITIZE=1):
+#: Workspace.buffer NaN-poisons fresh allocations when set.
+_SANITIZE = False
 
 
 class SegmentOps:
@@ -142,12 +181,20 @@ class Workspace:
 
     def buffer(self, key, shape: tuple[int, ...], dtype) -> np.ndarray:
         """The buffer registered under ``key``, (re)allocated on shape or
-        dtype change (e.g. a new batch size or a precision switch)."""
+        dtype change (e.g. a new batch size or a precision switch).
+
+        Under ``REPRO_SANITIZE=1`` fresh allocations are NaN-poisoned
+        instead of holding arbitrary garbage, so a kernel that reads a
+        buffer before fully overwriting it trips the sanitizer's
+        finiteness checks downstream.
+        """
         shape = tuple(shape)
         dtype = np.dtype(dtype)
         buf = self._buffers.get(key)
         if buf is None or buf.shape != shape or buf.dtype != dtype:
             buf = np.empty(shape, dtype=dtype)
+            if _SANITIZE and buf.dtype.kind == "f":
+                buf.fill(np.nan)
             self._buffers[key] = buf
         return buf
 
@@ -423,3 +470,122 @@ def admm_dual_step_(
     tmp *= rho
     dual += tmp
     return dual
+
+
+# ----------------------------------------------------------------------
+# Kernel aliasing contracts (machine-readable; see module docstring)
+# ----------------------------------------------------------------------
+class KernelContract(NamedTuple):
+    """Aliasing/clobber contract of one ``out=``-style kernel.
+
+    Attributes:
+        params: Parameter names in positional order (``self`` included
+            for method kernels).
+        writes: Parameters fully overwritten by the kernel (finite on
+            exit under the sanitizer).
+        inout: Parameters read *and* updated in place (finite on exit).
+        scratch: Parameters clobbered with garbage the caller must not
+            rely on.
+        may_alias: Pairs allowed to be the exact same view (elementwise
+            safe); partial overlap is never legal.
+        method: True for method kernels registered as
+            ``"Owner.method"`` — the sanitizer wraps the class
+            attribute and lint binds call-site args without ``self``.
+    """
+
+    params: tuple[str, ...]
+    writes: tuple[str, ...] = ()
+    inout: tuple[str, ...] = ()
+    scratch: tuple[str, ...] = ()
+    may_alias: tuple[tuple[str, str], ...] = ()
+    method: bool = False
+
+
+#: Contract per kernel — the single source RL002 (static) and the
+#: runtime sanitizer (REPRO_SANITIZE=1) both enforce. Keep in sync with
+#: the table in the module docstring.
+KERNEL_CONTRACTS: dict[str, KernelContract] = {
+    "csr_matmul_into": KernelContract(
+        params=("csr", "dense", "out"),
+        writes=("out",),
+    ),
+    "pair_linear_into": KernelContract(
+        params=("a", "b", "weight", "bias", "out", "scratch"),
+        writes=("out",),
+        scratch=("scratch",),
+    ),
+    "linear_into": KernelContract(
+        params=("x", "weight", "bias", "out"),
+        writes=("out",),
+    ),
+    "tanh_": KernelContract(
+        params=("x",),
+        inout=("x",),
+    ),
+    "relu_": KernelContract(
+        params=("x",),
+        inout=("x",),
+    ),
+    "take_rows_into": KernelContract(
+        params=("x", "indices", "out"),
+        writes=("out",),
+    ),
+    "padded_take_rows_into": KernelContract(
+        params=("x", "safe_indices", "invalid_rows", "out"),
+        writes=("out",),
+    ),
+    "masked_softmax_into": KernelContract(
+        params=("logits", "not_mask", "out", "reduce_buf"),
+        writes=("out",),
+        scratch=("reduce_buf",),
+        may_alias=(("logits", "out"),),
+    ),
+    "admm_f_rhs_into": KernelContract(
+        params=(
+            "d_p", "w_p", "lam1_g", "lam4_pp", "s1_g", "z_pp", "rho",
+            "out", "tmp",
+        ),
+        writes=("out",),
+        scratch=("tmp",),
+    ),
+    "admm_f_solve_into": KernelContract(
+        params=("b", "inv_a_over_rho", "correction_g", "out"),
+        writes=("out",),
+    ),
+    "admm_z_rhs_into": KernelContract(
+        params=("lam3_g", "lam4", "slack_g", "flow_g", "rho", "out"),
+        writes=("out",),
+        inout=("slack_g", "flow_g"),
+        may_alias=(("lam3_g", "out"),),
+    ),
+    "admm_z_solve_into": KernelContract(
+        params=("beta", "correction_g", "rho", "out"),
+        writes=("out",),
+    ),
+    "admm_slack_into": KernelContract(
+        params=("bound", "total", "dual", "rho", "out", "tmp"),
+        writes=("out",),
+        scratch=("tmp",),
+    ),
+    "admm_dual_step_": KernelContract(
+        params=("dual", "total", "slack", "bound", "rho", "tmp"),
+        inout=("dual",),
+        scratch=("tmp",),
+    ),
+    "SegmentOps.expand_into": KernelContract(
+        params=("self", "per_segment", "out"),
+        writes=("out",),
+        method=True,
+    ),
+}
+
+
+# Opt-in runtime sanitizer layer: with REPRO_SANITIZE=1 in the
+# environment, rebind every contracted kernel to a checking wrapper
+# (aliasing + NaN/Inf tripwires) and arm Workspace buffer poisoning.
+# This runs at import time so call sites that bind the kernels via
+# `from .batching import ...` pick up the wrapped functions.
+if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+    from ..lint.sanitize import install_sanitizers
+
+    install_sanitizers(globals())

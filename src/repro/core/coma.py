@@ -24,7 +24,6 @@ re-simulation per agent — O(D) slower, used by the agreement tests.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +36,7 @@ from ..lp.objectives import (
     TotalFlowObjective,
 )
 from ..nn.optim import Adam
+from ..nn.precision import EVALUATION_DTYPE
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
 from ..simulation.evaluator import evaluate_allocation
@@ -73,7 +73,7 @@ def sample_training_capacities(
         # step (and batched training stacks several of them), so aliasing
         # the caller's array here would let later in-place edits of the
         # nominal capacities silently rewrite past training inputs.
-        return np.array(capacities, dtype=float)
+        return np.array(capacities, dtype=EVALUATION_DTYPE)
     from ..topology.failures import sample_link_failures
 
     num_failures = int(rng.integers(1, config.max_training_failures + 1))
@@ -413,7 +413,7 @@ class ComaTrainer:
         ps = self.model.pathset
         if capacities is None:
             capacities = ps.topology.capacities
-        capacities = np.asarray(capacities, dtype=float)
+        capacities = np.asarray(capacities, dtype=EVALUATION_DTYPE)
         total_steps = self.config.steps if steps is None else int(steps)
         batch = (
             self.config.batch_matrices if batch_size is None else int(batch_size)

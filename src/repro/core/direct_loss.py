@@ -42,6 +42,7 @@ from ..lp.objectives import (
 )
 from ..nn import functional as F
 from ..nn.optim import Adam
+from ..nn.precision import EVALUATION_DTYPE
 from ..nn.tensor import Tensor
 from ..simulation.evaluator import evaluate_allocation
 from ..traffic.matrix import TrafficMatrix
@@ -276,7 +277,7 @@ class DirectLossTrainer:
         ps = self.model.pathset
         if capacities is None:
             capacities = ps.topology.capacities
-        capacities = np.asarray(capacities, dtype=float)
+        capacities = np.asarray(capacities, dtype=EVALUATION_DTYPE)
         total_steps = self.config.steps if steps is None else int(steps)
         batch = (
             self.config.batch_matrices if batch_size is None else int(batch_size)

@@ -12,6 +12,7 @@ import numpy as np
 from ..config import TealHyperparameters
 from ..exceptions import ModelError
 from ..nn.layers import Linear, Module, ReLU, Tanh
+from ..nn.precision import EVALUATION_DTYPE
 from ..nn.tensor import Tensor
 from ..paths.pathset import PathSet
 from ..topology.graph import broadcast_capacities
@@ -86,7 +87,7 @@ class AllocatorModel(Module):
         """
         from ..nn import functional as F
 
-        demands = np.asarray(demands, dtype=float)
+        demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
         capacities = broadcast_capacities(capacities, demands.shape[0])
         num_demands = self.pathset.num_demands
         max_paths = self.pathset.max_paths

@@ -19,13 +19,18 @@ import time
 import numpy as np
 
 from ..config import AdmmConfig, TealHyperparameters, TrainingConfig
-from ..exceptions import ModelError
 from ..lp.objectives import (
     MinMaxLinkUtilizationObjective,
     Objective,
     TotalFlowObjective,
 )
-from ..nn.precision import Precision, resolve_precision
+from ..nn.precision import (
+    EVALUATION_DTYPE,
+    FLOAT64,
+    Precision,
+    resolve_precision,
+)
+from ..baselines.base import TEScheme
 from ..paths.pathset import PathSet
 from ..simulation.evaluator import Allocation
 from ..traffic.matrix import TrafficMatrix
@@ -33,7 +38,6 @@ from .admm import AdmmFineTuner
 from .coma import ComaTrainer, TrainingHistory
 from .direct_loss import DirectLossTrainer
 from .model import TealModel
-from ..baselines.base import TEScheme
 
 
 class TealScheme(TEScheme):
@@ -123,7 +127,7 @@ class TealScheme(TEScheme):
         # Training stays float64 whatever the inference precision: the
         # 6-layer gradient chain and Adam's moment accumulation are where
         # single precision actually loses accuracy (repro.nn.precision).
-        self.model.astype(np.float64)
+        self.model.astype(FLOAT64.dtype)
         histories: dict[str, TrainingHistory] = {}
         warm_steps = config.warm_start_steps
         if warm_steps > 0:
@@ -156,7 +160,7 @@ class TealScheme(TEScheme):
         """
         self.model.check_compatible(pathset)
         self._ensure_precision()
-        demands = np.asarray(demands, dtype=float)
+        demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
         capacities = self._capacities(pathset, capacities)
 
         start = time.perf_counter()
@@ -232,7 +236,7 @@ class TealScheme(TEScheme):
         """
         self.model.check_compatible(pathset)
         self._ensure_precision()
-        demands = np.asarray(demands, dtype=float)
+        demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
         num_matrices = demands.shape[0]
         caps = self._capacities_batch(pathset, num_matrices, capacities)
         if num_matrices == 0:
@@ -313,7 +317,7 @@ class TealScheme(TEScheme):
         )
         # Warm-start from full-precision weights (the donor may have been
         # cast for inference; retraining always begins in float64).
-        self.model.astype(np.float64)
+        self.model.astype(FLOAT64.dtype)
         transfer_weights(self.model, new_scheme.model)
         if config is None:
             config = TrainingConfig(steps=20, warm_start_steps=60, log_every=20)
@@ -329,7 +333,7 @@ class TealScheme(TEScheme):
         """Raw model output ("Teal w/o ADMM" in Figure 14)."""
         self.model.check_compatible(pathset)
         self._ensure_precision()
-        demands = np.asarray(demands, dtype=float)
+        demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
         capacities = self._capacities(pathset, capacities)
         start = time.perf_counter()
         ratios = self.model.split_ratios(demands, capacities)

@@ -31,8 +31,8 @@ from .config import POP_REPLICAS, AdmmConfig, TrainingConfig
 from .core import TealScheme
 from .core.checkpoint import load_model, save_model
 from .exceptions import ReproError
-from .nn.precision import DEFAULT_INFERENCE_PRECISION, Precision, resolve_precision
 from .lp.objectives import Objective, TotalFlowObjective, get_objective
+from .nn.precision import DEFAULT_INFERENCE_PRECISION, Precision, resolve_precision
 from .paths.pathset import PathSet
 from .simulation.evaluator import evaluate_allocations_batch
 from .simulation.metrics import SchemeRun

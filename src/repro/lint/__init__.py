@@ -1,0 +1,59 @@
+"""``repro.lint`` — invariant-checking static analysis + runtime sanitizers.
+
+Static side: AST rules RL001 (dtype-policy), RL002 (kernel-aliasing),
+RL003 (determinism), RL004 (dispatch-seam) over the repo's sources, with
+a committed baseline for grandfathered findings (``repro.cli lint``).
+
+Runtime side: :mod:`repro.lint.sanitize` arms aliasing and NaN/Inf
+tripwires around the fused kernels when ``REPRO_SANITIZE=1``.
+
+Submodule imports are lazy so :mod:`repro.core.batching` can import
+:mod:`repro.lint.sanitize` at its own import time without a cycle
+(``rules``/``visitors`` import batching's ``KERNEL_CONTRACTS``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_paths",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "updated_entries",
+    "BaselineEntry",
+    "format_text",
+    "format_json",
+    "SanitizerError",
+    "sanitize_enabled",
+    "wrap_kernel",
+]
+
+_EXPORTS = {
+    "Finding": ("repro.lint.rules", "Finding"),
+    "RULES": ("repro.lint.rules", "RULES"),
+    "lint_paths": ("repro.lint.engine", "lint_paths"),
+    "load_baseline": ("repro.lint.baseline", "load_baseline"),
+    "save_baseline": ("repro.lint.baseline", "save_baseline"),
+    "apply_baseline": ("repro.lint.baseline", "apply_baseline"),
+    "updated_entries": ("repro.lint.baseline", "updated_entries"),
+    "BaselineEntry": ("repro.lint.baseline", "BaselineEntry"),
+    "format_text": ("repro.lint.report", "format_text"),
+    "format_json": ("repro.lint.report", "format_json"),
+    "SanitizerError": ("repro.lint.sanitize", "SanitizerError"),
+    "sanitize_enabled": ("repro.lint.sanitize", "sanitize_enabled"),
+    "wrap_kernel": ("repro.lint.sanitize", "wrap_kernel"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.lint' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,160 @@
+"""Baseline I/O for ``repro.lint``: grandfathered findings on disk.
+
+A baseline entry suppresses up to ``count`` findings that share its
+``(rule, path, line_text)`` fingerprint — line *text*, so entries
+survive unrelated edits shifting line numbers. Entries may carry a
+``justification`` explaining why the finding is intentional; updates
+(``--update-baseline``) preserve justifications of entries that are
+still live.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..exceptions import ReproError
+from .rules import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Malformed baseline file."""
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    line_text: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "rule": self.rule,
+            "path": self.path,
+            "line_text": self.line_text,
+            "count": self.count,
+        }
+        if self.justification:
+            doc["justification"] = self.justification
+        return doc
+
+
+@dataclass
+class BaselineMatch:
+    """Result of applying a baseline to a batch of findings."""
+
+    new: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+def load_baseline(path: str) -> list[BaselineEntry]:
+    """Entries from ``path``; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(
+            f"baseline {path} is not a {{version, entries}} document"
+        )
+    entries = []
+    for raw in document["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    line_text=raw["line_text"],
+                    count=int(raw.get("count", 1)),
+                    justification=raw.get("justification", ""),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise BaselineError(
+                f"malformed baseline entry in {path}: {raw!r}"
+            ) from error
+    return entries
+
+
+def save_baseline(path: str, entries: list[BaselineEntry]) -> None:
+    """Write entries deterministically (sorted by fingerprint)."""
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            entry.to_dict()
+            for entry in sorted(entries, key=lambda e: e.fingerprint)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> BaselineMatch:
+    """Split findings into new vs baseline-suppressed.
+
+    Each entry absorbs up to ``count`` findings with its fingerprint;
+    entries whose fingerprint matched nothing are reported ``stale`` so
+    the baseline can be garbage-collected.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        budget[entry.fingerprint] = (
+            budget.get(entry.fingerprint, 0) + entry.count
+        )
+    used: dict[tuple[str, str, str], int] = {}
+    match = BaselineMatch()
+    for finding in findings:
+        key = finding.fingerprint
+        if used.get(key, 0) < budget.get(key, 0):
+            used[key] = used.get(key, 0) + 1
+            match.suppressed.append(finding)
+        else:
+            match.new.append(finding)
+    match.stale = [
+        entry for entry in entries if used.get(entry.fingerprint, 0) == 0
+    ]
+    return match
+
+
+def updated_entries(
+    findings: list[Finding], previous: list[BaselineEntry]
+) -> list[BaselineEntry]:
+    """Baseline entries covering exactly the current findings.
+
+    Counts are recomputed from the findings; justifications of entries
+    that are still live carry over.
+    """
+    justifications = {
+        entry.fingerprint: entry.justification
+        for entry in previous
+        if entry.justification
+    }
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    return [
+        BaselineEntry(
+            rule=rule,
+            path=path,
+            line_text=line_text,
+            count=count,
+            justification=justifications.get((rule, path, line_text), ""),
+        )
+        for (rule, path, line_text), count in sorted(counts.items())
+    ]

@@ -1,0 +1,90 @@
+"""AST walker / driver for ``repro.lint``.
+
+Discovers python files, parses each once, runs every applicable rule
+visitor, and returns findings in a deterministic order (path, line,
+col, rule) — the linter is itself held to the determinism standard it
+enforces (RL003): no wall clocks, no hash-order output.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from ..exceptions import ReproError
+from .rules import Finding
+from .visitors import ALL_VISITORS
+
+
+class LintError(ReproError):
+    """Unreadable or unparsable input to the linter."""
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(files))
+
+
+def _relpath(path: str, root: str | None) -> str:
+    """Repo-relative posix path used in findings and baselines."""
+    base = root if root is not None else os.getcwd()
+    try:
+        rel = os.path.relpath(path, base)
+    except ValueError:  # pragma: no cover - windows drive mismatch
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def lint_file(path: str, display_path: str | None = None) -> list[Finding]:
+    """Run every applicable rule over one file."""
+    display = display_path if display_path is not None else path
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise LintError(f"cannot parse {path}: {error}") from error
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    for visitor_cls in ALL_VISITORS:
+        if visitor_cls.applies(display):
+            visitor = visitor_cls(display, lines)
+            visitor.visit(tree)
+            findings.extend(visitor.findings)
+    return findings
+
+
+def lint_paths(paths: list[str], root: str | None = None) -> list[Finding]:
+    """Lint files/directories; findings sorted (path, line, col, rule).
+
+    Args:
+        paths: Files or directories to scan.
+        root: Base for the repo-relative paths recorded in findings
+            (default: the current working directory).
+    """
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, _relpath(path, root)))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

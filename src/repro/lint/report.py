@@ -1,0 +1,52 @@
+"""Finding reports for ``repro.lint``: text for terminals, JSON for CI."""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineMatch
+from .rules import RULES
+
+
+def format_text(match: BaselineMatch, explain: bool = False) -> str:
+    """Human-readable report: one line per new finding plus a summary."""
+    lines = []
+    for finding in match.new:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}"
+        )
+    if explain:
+        for rule_id in sorted({f.rule for f in match.new}):
+            rule = RULES[rule_id]
+            lines.append("")
+            lines.append(f"{rule.id} — {rule.title}")
+            lines.append(f"  {rule.rationale}")
+            lines.append(f"  scope: {rule.scope}")
+        if match.new:
+            lines.append("")
+    summary = (
+        f"{len(match.new)} new finding(s), "
+        f"{len(match.suppressed)} baselined"
+    )
+    if match.stale:
+        summary += f", {len(match.stale)} stale baseline entrie(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(match: BaselineMatch) -> str:
+    """Machine-readable report (stable key order, newline-terminated)."""
+    document = {
+        "new": [finding.to_dict() for finding in match.new],
+        "baselined": [finding.to_dict() for finding in match.suppressed],
+        "stale_baseline_entries": [
+            entry.to_dict() for entry in match.stale
+        ],
+        "summary": {
+            "new": len(match.new),
+            "baselined": len(match.suppressed),
+            "stale": len(match.stale),
+        },
+    }
+    return json.dumps(document, indent=2) + "\n"

@@ -18,7 +18,7 @@ from scipy.optimize import linprog
 from ..exceptions import SolverError
 from ..paths.pathset import PathSet
 from .formulation import LinearProgram, build_lp
-from .objectives import MinMaxLinkUtilizationObjective, Objective
+from .objectives import Objective
 
 
 @dataclass(frozen=True)

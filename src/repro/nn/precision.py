@@ -94,6 +94,14 @@ class Precision:
 FLOAT32 = Precision("float32")
 FLOAT64 = Precision("float64")
 
+#: Scoring/IO dtype: demand volumes, capacities, and evaluator inputs
+#: are always float64 regardless of the compute Precision — the
+#: "reductions accumulate in float64" half of the policy. Lint rule
+#: RL001 (repro.lint) requires dtype literals in precision-threaded
+#: modules to route through this constant or a Precision, so every
+#: hardcoded dtype is an explicit, greppable policy decision.
+EVALUATION_DTYPE = np.dtype(np.float64)
+
 #: Library-wide default: float64 (full-precision, backward compatible).
 DEFAULT_PRECISION = FLOAT64
 

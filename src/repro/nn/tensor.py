@@ -24,6 +24,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..exceptions import ModelError
+from .precision import DEFAULT_PRECISION
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -57,7 +58,7 @@ def _as_array(value) -> np.ndarray:
     if isinstance(value, (np.float32, np.float64)):
         # Reductions of float32 arrays yield numpy scalars; keep them.
         return np.asarray(value)
-    return np.asarray(value, dtype=float)
+    return np.asarray(value, dtype=DEFAULT_PRECISION.dtype)
 
 
 def _transpose_last(arr: np.ndarray) -> np.ndarray:

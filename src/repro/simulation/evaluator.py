@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..nn.precision import EVALUATION_DTYPE
 from ..paths.pathset import PathSet
 from ..topology.graph import broadcast_capacities
 
@@ -203,12 +204,12 @@ def evaluate_allocation(
     Raises:
         SimulationError: On shape mismatches.
     """
-    demands = np.asarray(demands, dtype=float)
+    demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
     if demands.shape != (pathset.num_demands,):
         raise SimulationError(
             f"demands shape {demands.shape} != ({pathset.num_demands},)"
         )
-    split_ratios = np.asarray(split_ratios, dtype=float)
+    split_ratios = np.asarray(split_ratios, dtype=EVALUATION_DTYPE)
     batch = evaluate_allocations_batch(
         pathset, split_ratios[None], demands[None], capacities
     )
@@ -243,7 +244,7 @@ def evaluate_allocations_batch(
     Raises:
         SimulationError: On shape mismatches.
     """
-    demands = np.asarray(demands, dtype=float)
+    demands = np.asarray(demands, dtype=EVALUATION_DTYPE)
     if demands.ndim != 2 or demands.shape[1] != pathset.num_demands:
         raise SimulationError(
             f"demands shape {demands.shape} != (T, {pathset.num_demands})"
@@ -255,7 +256,9 @@ def evaluate_allocations_batch(
     if capacities.shape != (num_matrices, pathset.topology.num_edges):
         raise SimulationError("capacities shape mismatch")
 
-    ratios = _clip_ratios_batch(np.asarray(split_ratios, dtype=float))
+    ratios = _clip_ratios_batch(
+        np.asarray(split_ratios, dtype=EVALUATION_DTYPE)
+    )
     intended = pathset.split_ratios_to_path_flows_batch(ratios, demands)
 
     pre_loads = pathset.edge_loads_batch(intended)

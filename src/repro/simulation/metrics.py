@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import SimulationError
-from .evaluator import Allocation
+from ..nn.precision import EVALUATION_DTYPE
 
 
 @dataclass
@@ -63,7 +63,7 @@ class SchemeRun:
 
     def cdf(self, values: list[float]) -> tuple[np.ndarray, np.ndarray]:
         """Empirical CDF points (sorted values, cumulative fractions)."""
-        arr = np.sort(np.asarray(values, dtype=float))
+        arr = np.sort(np.asarray(values, dtype=EVALUATION_DTYPE))
         if arr.size == 0:
             return arr, arr
         return arr, np.arange(1, arr.size + 1) / arr.size

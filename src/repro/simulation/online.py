@@ -28,6 +28,7 @@ import numpy as np
 
 from ..config import TE_INTERVAL_SECONDS
 from ..exceptions import SimulationError
+from ..nn.precision import EVALUATION_DTYPE
 from ..paths.pathset import PathSet
 from ..traffic.matrix import TrafficMatrix
 from .evaluator import Allocation, evaluate_allocation, evaluate_allocations_batch
@@ -104,7 +105,7 @@ def interval_capacities(
         SimulationError: If ``failure_at`` is set without capacities
             (``np.asarray(None)`` would otherwise broadcast NaN rows).
     """
-    capacities = np.asarray(capacities, dtype=float)
+    capacities = np.asarray(capacities, dtype=EVALUATION_DTYPE)
     stack = np.broadcast_to(
         capacities, (num_intervals, capacities.shape[0])
     ).copy()
@@ -113,7 +114,7 @@ def interval_capacities(
             raise SimulationError(
                 "failure_at requires failed_capacities"
             )
-        failed = np.asarray(failed_capacities, dtype=float)
+        failed = np.asarray(failed_capacities, dtype=EVALUATION_DTYPE)
         if failed.shape != capacities.shape:
             raise SimulationError(
                 f"failed_capacities shape {failed.shape} != {capacities.shape}"

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..config import TE_INTERVAL_SECONDS
 from ..exceptions import SimulationError
+from ..nn.precision import EVALUATION_DTYPE
 from ..paths.pathset import PathSet
 from ..traffic.matrix import TrafficMatrix
 from .evaluator import Allocation, evaluate_allocations_batch
@@ -485,7 +486,7 @@ class StreamingEngine:
             self.pathset.topology.capacities
             if capacities is None
             else capacities,
-            dtype=float,
+            dtype=EVALUATION_DTYPE,
         )
         current = nominal.copy()
         failed: set[int] = set()

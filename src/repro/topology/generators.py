@@ -22,8 +22,6 @@ All generators are deterministic given a seed.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ..exceptions import TopologyError

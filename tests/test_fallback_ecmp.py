@@ -7,7 +7,6 @@ import pytest
 
 from repro.baselines import EqualSplit, LpAll, ShortestPath
 from repro.exceptions import SimulationError
-from repro.lp import TotalFlowObjective
 from repro.simulation import FallbackScheme, evaluate_allocation
 
 

@@ -15,7 +15,6 @@ from repro.core import (
 )
 from repro.exceptions import ModelError
 from repro.nn import Tensor
-from repro.paths import PathSet
 
 
 class TestFlowGNN:

@@ -7,7 +7,6 @@ re-check them at larger scale with timing).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import TrainingConfig

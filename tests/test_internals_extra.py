@@ -7,9 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.config import TrainingConfig
 from repro.core import FlowGNN, TealModel
 from repro.core.coma import masked_softmax_np, sample_training_capacities
-from repro.config import TrainingConfig
 from repro.exceptions import ReproError
 from repro.harness import scaled_te_interval
 from repro.simulation.metrics import SchemeRun

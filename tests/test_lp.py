@@ -17,7 +17,6 @@ from repro.lp import (
     demand_constraint_matrix,
     get_objective,
     lp_split_ratios,
-    solve_lp,
     solve_te_lp,
 )
 from repro.paths import PathSet

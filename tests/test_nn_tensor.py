@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from helpers import numerical_gradient
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
-from helpers import numerical_gradient
 
 from repro.exceptions import ModelError
 from repro.nn import Parameter, Tensor, as_tensor
