@@ -1,0 +1,140 @@
+"""Size-bounded pruning for the persistent scenario/model caches.
+
+The harness's on-disk tier (:func:`repro.harness.build_scenario` and
+:func:`repro.harness.trained_teal` with ``cache_dir=``) grows without
+bound: every distinct scenario or training configuration adds an
+``.npz`` entry that is never deleted. This module adds the bound —
+least-recently-used eviction down to a byte budget — without touching
+the cache formats themselves.
+
+Recency is tracked through file mtimes: the harness calls
+:func:`touch` on every disk-tier hit, so an entry's mtime is the last
+time it was either written or read. :func:`prune_cache_dir` then sorts
+by mtime and removes the oldest entries until the directory fits the
+budget. Exposed on the command line as ``repro.cli cache prune``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .exceptions import ReproError
+
+#: Filename prefixes of cache entries this module manages. Anything
+#: else in the directory (user files, other artifacts) is left alone.
+CACHE_PREFIXES = ("scenario-", "teal-")
+
+_SIZE_SUFFIXES = {
+    "K": 1024,
+    "M": 1024**2,
+    "G": 1024**3,
+    "T": 1024**4,
+}
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One prunable file in a cache directory."""
+
+    path: Path
+    bytes: int
+    mtime: float
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a byte budget like ``"500M"``, ``"2G"``, or a plain int.
+
+    Suffixes are binary (K=2**10, M=2**20, G=2**30, T=2**40) and
+    case-insensitive; an optional trailing ``B`` is accepted
+    (``"64KB"``). Raises :class:`ReproError` on anything else.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ReproError(f"cache size must be non-negative, got {text}")
+        return text
+    raw = text.strip().upper().removesuffix("B")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ReproError(
+            f"unparseable cache size {text!r}; use e.g. 500M, 2G, or a "
+            "plain byte count"
+        ) from None
+    if value < 0:
+        raise ReproError(f"cache size must be non-negative, got {text!r}")
+    return int(value * factor)
+
+
+def touch(path: str | Path) -> None:
+    """Mark a cache entry as just-used (best effort).
+
+    Called by the harness on disk-tier hits so LRU pruning sees reads,
+    not only writes. A concurrently pruned entry is not an error.
+    """
+    try:
+        os.utime(path)
+    except OSError:  # pragma: no cover - raced with prune/cleanup
+        pass
+
+
+def cache_entries(cache_dir: str | Path) -> list[CacheEntry]:
+    """Prunable entries of a cache directory, least recently used first.
+
+    Only files matching :data:`CACHE_PREFIXES` with the ``.npz`` suffix
+    are considered. Files that vanish mid-scan are skipped. Ties on
+    mtime break by name so the ordering is deterministic.
+    """
+    cache_dir = Path(cache_dir)
+    entries = []
+    for prefix in CACHE_PREFIXES:
+        for path in cache_dir.glob(f"{prefix}*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with cleanup
+                continue
+            entries.append(
+                CacheEntry(path=path, bytes=stat.st_size, mtime=stat.st_mtime)
+            )
+    entries.sort(key=lambda e: (e.mtime, e.path.name))
+    return entries
+
+
+def prune_cache_dir(
+    cache_dir: str | Path,
+    max_bytes: int | str,
+    dry_run: bool = False,
+) -> list[Path]:
+    """Evict least-recently-used cache entries down to ``max_bytes``.
+
+    Args:
+        cache_dir: The directory passed to the harness as ``cache_dir``.
+        max_bytes: Byte budget the directory must fit after pruning
+            (int or a :func:`parse_size` string). ``0`` empties it.
+        dry_run: Report what would be removed without deleting.
+
+    Returns:
+        The paths removed (or, with ``dry_run``, that would be).
+
+    A missing directory is an empty cache, not an error.
+    """
+    budget = parse_size(max_bytes)
+    entries = cache_entries(cache_dir)
+    total = sum(e.bytes for e in entries)
+    removed: list[Path] = []
+    for entry in entries:
+        if total <= budget:
+            break
+        if not dry_run:
+            try:
+                entry.path.unlink()
+            except OSError:  # pragma: no cover - raced with cleanup
+                continue
+        removed.append(entry.path)
+        total -= entry.bytes
+    return removed

@@ -10,6 +10,7 @@ Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
     teal-repro stream --topology B4       # event-driven streaming online TE
     teal-repro analyze grid1.json grid2.json  # aggregate grid analytics
     teal-repro lint                       # RL001-RL004 static analysis
+    teal-repro cache prune --cache-dir .cache --max-bytes 500M  # LRU evict
 """
 
 from __future__ import annotations
@@ -49,7 +50,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     schemes = dict(make_baselines(scenario))
     print("training Teal...")
-    schemes["Teal"] = trained_teal(scenario, precision=args.precision)
+    schemes["Teal"] = trained_teal(
+        scenario, precision=args.precision, backend=args.backend
+    )
     runs = run_offline_comparison(
         scenario, schemes, matrices=scenario.split.test[: args.matrices]
     )
@@ -69,7 +72,9 @@ def _cmd_failures(args: argparse.Namespace) -> int:
     scenario = build_scenario(args.topology, scale=args.scale, seed=args.seed)
     schemes = dict(make_baselines(scenario))
     print("training Teal...")
-    schemes["Teal"] = trained_teal(scenario, precision=args.precision)
+    schemes["Teal"] = trained_teal(
+        scenario, precision=args.precision, backend=args.backend
+    )
 
     print(f"{'failures':>9} | " + " | ".join(f"{n:>8}" for n in schemes))
     for count in args.counts:
@@ -101,7 +106,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         log_every=max(1, args.steps // 4),
     )
     teal = trained_teal(
-        scenario, config=config, use_cache=False, precision=args.precision
+        scenario, config=config, use_cache=False,
+        precision=args.precision, backend=args.backend,
     )
     demands = scenario.demands(scenario.split.test[0])
     allocation = teal.allocate(scenario.pathset, demands)
@@ -134,6 +140,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         schemes=tuple(args.schemes),
         mode=args.mode,
         precision=args.precision,
+        backend=args.backend,
         train=args.train,
         validation=args.validation,
         test=args.matrices,
@@ -186,7 +193,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         schemes.update(make_baselines(scenario, include=baseline_names))
     if "Teal" in args.schemes:
         print("training Teal...")
-        schemes["Teal"] = trained_teal(scenario, precision=args.precision)
+        schemes["Teal"] = trained_teal(
+            scenario, precision=args.precision, backend=args.backend
+        )
     schemes = {name: schemes[name] for name in args.schemes}
 
     matrices = scenario.split.test[: args.matrices]
@@ -315,6 +324,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if match.new else 0
 
 
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    from .cache import cache_entries, parse_size, prune_cache_dir
+    from .exceptions import ReproError
+
+    try:
+        budget = parse_size(args.max_bytes)
+        removed = prune_cache_dir(
+            args.cache_dir, budget, dry_run=args.dry_run
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    verb = "would remove" if args.dry_run else "removed"
+    for path in removed:
+        print(f"{verb} {path}")
+    kept = cache_entries(args.cache_dir)
+    if args.dry_run:
+        kept = [e for e in kept if e.path not in set(removed)]
+    total = sum(e.bytes for e in kept)
+    print(
+        f"{verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}; "
+        f"{len(kept)} kept ({total / 1024**2:.1f} MiB / "
+        f"budget {budget / 1024**2:.1f} MiB)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -333,6 +369,17 @@ def build_parser() -> argparse.ArgumentParser:
             "measurably faster — see README 'Precision & performance')",
         )
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=("numpy", "torch"),
+            default=None,
+            help="array backend of Teal's fused inference (default: the "
+            "REPRO_BACKEND env var, then numpy; the numpy backend is "
+            "bit-identical to the pre-dispatch kernels — see README "
+            "'Backend substrate')",
+        )
+
     p_topo = sub.add_parser("topologies", help="print Table 1 / Table 3 rows")
     p_topo.add_argument("--scale", type=float, default=1.0)
     p_topo.set_defaults(func=_cmd_topologies)
@@ -343,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--matrices", type=int, default=4)
     add_precision(p_cmp)
+    add_backend(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_fail = sub.add_parser("failures", help="link-failure sweep")
@@ -354,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--counts", type=int, nargs="+", default=[0, 1, 2]
     )
     add_precision(p_fail)
+    add_backend(p_fail)
     p_fail.set_defaults(func=_cmd_failures)
 
     p_train = sub.add_parser("train", help="train a Teal model")
@@ -363,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--steps", type=int, default=60)
     p_train.add_argument("--warm-start-steps", type=int, default=220)
     add_precision(p_train)
+    add_backend(p_train)
     p_train.set_defaults(func=_cmd_train)
 
     p_sweep = sub.add_parser(
@@ -398,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rebuilding/retraining (bit-identical results)",
     )
     add_precision(p_sweep)
+    add_backend(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_stream = sub.add_parser(
@@ -444,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write per-scheme JSON results here"
     )
     add_precision(p_stream)
+    add_backend(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
 
     p_analyze = sub.add_parser(
@@ -500,6 +552,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="append rule documentation for every rule that fired",
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="manage the persistent scenario/model cache directory",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used cache entries down to a byte "
+        "budget (entries are touched on every disk hit, so recency "
+        "reflects reads as well as writes)",
+    )
+    p_prune.add_argument(
+        "--cache-dir", required=True,
+        help="the directory passed to sweep --cache-dir",
+    )
+    p_prune.add_argument(
+        "--max-bytes", required=True,
+        help="byte budget after pruning, e.g. 500M, 2G, or a plain "
+        "byte count (0 empties the cache)",
+    )
+    p_prune.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting",
+    )
+    p_prune.set_defaults(func=_cmd_cache_prune)
     return parser
 
 

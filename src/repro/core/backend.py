@@ -1,0 +1,625 @@
+"""Pluggable array backend: one dispatch seam from FlowGNN to ADMM.
+
+PR 4 funneled every hot path into the ~15 contracted kernels of
+:mod:`repro.core.batching`; this module puts the *array namespace* those
+kernels call behind a protocol so the same pipeline can run on numpy
+today and torch/cupy tomorrow, selected the same way
+:class:`repro.nn.precision.Precision` selects a dtype.
+
+Three layers:
+
+**Ops namespaces.** :class:`NumpyOps` exposes the exact numpy callables
+the kernels have always used — each attribute is a ``staticmethod``
+*alias* of the corresponding ``np.*`` function, so dispatching through
+the namespace runs the identical C routine in the identical order and
+the numpy backend is bit-identical to the pre-dispatch kernels by
+construction (asserted by ``tests/test_backend.py``). :class:`TorchOps`
+adapts the same calling conventions onto torch; it is import-gated and
+best-effort (milestone 2 — parity-tolerance tested, skipped when torch
+is absent).
+
+**Backend selection.** :class:`Backend` is a tiny frozen policy object
+(mirroring ``Precision``) carried alongside the precision through
+``TealScheme`` → harness → sweep → CLI. :func:`resolve_backend`
+implements the selection precedence *env < config < CLI*: an explicit
+spec (CLI flag or config field) wins; otherwise the ``REPRO_BACKEND``
+environment variable; otherwise numpy.
+
+**Value dispatch.** Kernels receive arrays, not backends, so the seam
+dispatches on the *output* array's type: :func:`array_ops` maps
+``np.ndarray`` → :data:`NUMPY_OPS` and foreign arrays (torch tensors,
+or anything registered via :func:`register_array_ops`) to their ops.
+The cost on the numpy path is one ``type`` check per kernel call.
+
+Adding a backend: implement the :class:`NumpyOps` surface for your
+array type (creation, ufuncs with ``out=``, segment primitives, CSR
+matvec, RNG), then ``register_array_ops("yourmodule", your_ops)`` so
+:func:`array_ops` can route arrays whose type lives under that
+top-level module. ``Backend`` names stay restricted to the built-in
+pair; custom backends are selected by handing their arrays (and a
+``Workspace(your_ops)``) to the kernels directly.
+
+This module is the *sole* dispatch-seam exemption of lint rule RL004:
+direct ``np.matmul``/``@``/``.dot``/``np.einsum`` calls and raw
+``np.empty``/``np.zeros`` workspace allocations in hot-path modules
+must route through here (see :mod:`repro.lint.rules`).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ReproError
+
+try:  # scipy's typed C kernels; fall back to `csr @ dense` if moved.
+    from scipy.sparse import _sparsetools
+
+    _CSR_MATVECS = _sparsetools.csr_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - scipy internal
+    _CSR_MATVECS = None
+
+#: Environment variable consulted when no explicit backend is passed.
+ENV_BACKEND = "REPRO_BACKEND"
+
+_SUPPORTED = ("numpy", "torch")
+
+
+# ----------------------------------------------------------------------
+# Numpy ops: the default (and reference) namespace
+# ----------------------------------------------------------------------
+class NumpyOps:
+    """The numpy array namespace, spelled as a backend.
+
+    Every ufunc/creation attribute below is a *direct alias* of the
+    numpy callable the fused kernels historically invoked — not a
+    wrapper — so ``ops.multiply is np.multiply`` holds and dispatched
+    kernels execute the byte-for-byte identical call sequence. Methods
+    that need adapting for other backends (dtype/shape introspection,
+    host transfer, segment primitives) are kept trivial here.
+    """
+
+    name = "numpy"
+    #: Workspace buffers are keyed per device so one workspace can serve
+    #: models whose backend changes (e.g. numpy scoring + torch forward).
+    device_key = "numpy-cpu"
+
+    # -- creation ------------------------------------------------------
+    empty = staticmethod(np.empty)
+    zeros = staticmethod(np.zeros)
+    zeros_like = staticmethod(np.zeros_like)
+    full = staticmethod(np.full)
+    asarray = staticmethod(np.asarray)
+    arange = staticmethod(np.arange)
+
+    # -- ufuncs / elementwise (all honour ``out=``) --------------------
+    add = staticmethod(np.add)
+    subtract = staticmethod(np.subtract)
+    multiply = staticmethod(np.multiply)
+    divide = staticmethod(np.divide)
+    negative = staticmethod(np.negative)
+    maximum = staticmethod(np.maximum)
+    minimum = staticmethod(np.minimum)
+    clip = staticmethod(np.clip)
+    exp = staticmethod(np.exp)
+    tanh = staticmethod(np.tanh)
+    matmul = staticmethod(np.matmul)
+    copyto = staticmethod(np.copyto)
+    take = staticmethod(np.take)
+    where = staticmethod(np.where)
+
+    # -- reductions (axis/keepdims/out signature) ----------------------
+    max = staticmethod(np.max)
+    sum = staticmethod(np.sum)
+
+    # -- numerics context ---------------------------------------------
+    errstate = staticmethod(np.errstate)
+
+    # -- RNG: numpy-driven on every backend (weight init stays
+    #    reproducible bit-for-bit whatever runs the forward) -----------
+    default_rng = staticmethod(np.random.default_rng)
+
+    # -- introspection / movement --------------------------------------
+    @staticmethod
+    def dtype_of(x) -> np.dtype:
+        return x.dtype
+
+    @staticmethod
+    def astype(x, dtype):
+        return x.astype(dtype)
+
+    @staticmethod
+    def typed_scalar(x, value):
+        """A scalar strong-typed to ``x``'s dtype (no promotion)."""
+        return x.dtype.type(value)
+
+    @staticmethod
+    def nbytes(x) -> int:
+        return x.nbytes
+
+    @staticmethod
+    def fill_nan(x) -> None:
+        x.fill(np.nan)
+
+    @staticmethod
+    def param(x):
+        """Backend-resident view of a (numpy) model parameter."""
+        return x
+
+    @staticmethod
+    def from_numpy(x):
+        """Move a host array onto this backend (no-op for numpy)."""
+        return x
+
+    @staticmethod
+    def to_numpy(x) -> np.ndarray:
+        """Host view of a backend array (no copy on numpy)."""
+        return np.asarray(x)
+
+    @staticmethod
+    def to_numpy_copy(x) -> np.ndarray:
+        """Fresh host copy of a backend array."""
+        return x.copy()
+
+    # -- segment primitives (see SegmentOps) ---------------------------
+    @staticmethod
+    def segment_sum(index, weights, minlength: int):
+        """1-D segment sums with float64 accumulation (bincount)."""
+        return np.bincount(index, weights=weights, minlength=minlength)
+
+    @staticmethod
+    def segment_max_into(out_flat, index, values) -> None:
+        """Scatter-max ``values`` into ``out_flat`` at ``index``."""
+        np.maximum.at(out_flat, index, values)
+
+    @staticmethod
+    def expand_segments(per_segment, index):
+        """Gather per-segment values back to elements along axis 1."""
+        return np.asarray(per_segment)[:, index]
+
+    # -- sparse aggregation --------------------------------------------
+    @staticmethod
+    def csr_matmul_into(csr: sp.csr_matrix, dense, out):
+        """``out = csr @ dense`` through a preallocated buffer.
+
+        Uses scipy's ``csr_matvecs`` C routine directly (it
+        *accumulates* into the output buffer, so the buffer is zeroed
+        first); a (B, N, F) batched operand runs one call per batch row
+        — per output element the accumulation order over the row's
+        nonzeros is identical to ``csr @ dense``, so the result is
+        bit-identical to the allocating product. Falls back to the
+        allocating product if scipy's internals are unavailable or the
+        operands are not contiguous/dtype-matched.
+        """
+        if dense.ndim > 2:
+            for b in range(dense.shape[0]):
+                NumpyOps.csr_matmul_into(csr, dense[b], out[b])
+            return out
+        if (
+            _CSR_MATVECS is None
+            or csr.data.dtype != dense.dtype
+            or not dense.flags.c_contiguous
+            or not out.flags.c_contiguous
+        ):
+            out[...] = csr @ dense
+            return out
+        n_row, n_col = csr.shape
+        out[...] = 0.0
+        _CSR_MATVECS(
+            n_row,
+            n_col,
+            dense.shape[1],
+            csr.indptr,
+            csr.indices,
+            csr.data,
+            dense.reshape(-1),
+            out.reshape(-1),
+        )
+        return out
+
+
+#: The shared numpy namespace instance (stateless).
+NUMPY_OPS = NumpyOps()
+
+
+# ----------------------------------------------------------------------
+# Torch ops: import-gated, best-effort (milestone 2)
+# ----------------------------------------------------------------------
+class TorchOps:  # pragma: no cover - exercised only when torch is installed
+    """Torch adapter for the :class:`NumpyOps` calling conventions.
+
+    Best-effort: validated by a parity-*tolerance* test (skipped when
+    torch is absent), not the bit-identity bar the numpy namespace
+    meets. Static numpy operands (index maps, masks, scipy CSRs, model
+    parameters) are converted on the fly with small identity-keyed
+    caches so steady-state inference does not re-upload them.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        import torch
+
+        self.torch = torch
+        self.device = torch.device(device)
+        self.device_key = f"torch-{self.device}"
+        self._np_to_torch = {
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.int64): torch.int64,
+            np.dtype(np.int32): torch.int32,
+            np.dtype(np.bool_): torch.bool,
+        }
+        self._torch_to_np = {v: k for k, v in self._np_to_torch.items()}
+        # id-keyed caches for static host-side operands; the source
+        # object is retained alongside the tensor so ids stay valid.
+        self._static_cache: dict[int, tuple[object, object]] = {}
+        self._csr_cache: dict[tuple[int, object], tuple[object, object]] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _dtype(self, dtype):
+        return self._np_to_torch[np.dtype(dtype)]
+
+    def _cached(self, x, build):
+        key = id(x)
+        hit = self._static_cache.get(key)
+        if hit is None or hit[0] is not x:
+            hit = (x, build(x))
+            self._static_cache[key] = hit
+        return hit[1]
+
+    def _index(self, indices):
+        """Device-resident int64 copy of a (usually static) index map."""
+        if self.torch.is_tensor(indices):
+            return indices
+        return self._cached(
+            indices,
+            lambda idx: self.torch.as_tensor(
+                np.ascontiguousarray(idx), dtype=self.torch.int64, device=self.device
+            ),
+        )
+
+    def _tensor(self, x, like=None):
+        if self.torch.is_tensor(x):
+            return x
+        dtype = like.dtype if like is not None else None
+        return self.torch.as_tensor(x, dtype=dtype, device=self.device)
+
+    # -- creation ------------------------------------------------------
+    def empty(self, shape, dtype=None):
+        return self.torch.empty(tuple(shape), dtype=self._dtype(dtype or np.float64), device=self.device)
+
+    def zeros(self, shape, dtype=None):
+        return self.torch.zeros(tuple(shape), dtype=self._dtype(dtype or np.float64), device=self.device)
+
+    def zeros_like(self, x):
+        return self.torch.zeros_like(x)
+
+    def full(self, shape, fill_value, dtype=None):
+        if not isinstance(shape, tuple):
+            shape = (int(shape),)
+        return self.torch.full(shape, fill_value, dtype=self._dtype(dtype or np.float64), device=self.device)
+
+    def asarray(self, x, dtype=None):
+        kwargs = {"device": self.device}
+        if dtype is not None:
+            kwargs["dtype"] = self._dtype(dtype)
+        return self.torch.as_tensor(x, **kwargs)
+
+    def arange(self, n, dtype=None):
+        return self.torch.arange(n, dtype=self._dtype(dtype or np.int64), device=self.device)
+
+    # -- ufuncs / elementwise ------------------------------------------
+    def add(self, a, b, out=None):
+        return self.torch.add(self._tensor(a, b if self.torch.is_tensor(b) else out), b, out=out)
+
+    def subtract(self, a, b, out=None):
+        if not self.torch.is_tensor(a):
+            a = self._tensor(a, like=b)
+        return self.torch.sub(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        if not self.torch.is_tensor(a):
+            a = self._tensor(a, like=b)
+        return self.torch.mul(a, b, out=out)
+
+    def divide(self, a, b, out=None):
+        if not self.torch.is_tensor(a):
+            a = self._tensor(a, like=b if self.torch.is_tensor(b) else out)
+        return self.torch.div(a, b, out=out)
+
+    def negative(self, x, out=None):
+        return self.torch.neg(x, out=out)
+
+    def maximum(self, a, b, out=None):
+        if not self.torch.is_tensor(b):
+            return self.torch.clamp(a, min=b, out=out)
+        if not self.torch.is_tensor(a):
+            return self.torch.clamp(b, min=a, out=out)
+        return self.torch.maximum(a, b, out=out)
+
+    def minimum(self, a, b, out=None):
+        if not self.torch.is_tensor(b):
+            return self.torch.clamp(a, max=b, out=out)
+        return self.torch.minimum(a, b, out=out)
+
+    def clip(self, x, lo, hi, out=None):
+        return self.torch.clamp(x, min=lo, max=hi, out=out)
+
+    def exp(self, x, out=None):
+        return self.torch.exp(x, out=out)
+
+    def tanh(self, x, out=None):
+        return self.torch.tanh(x, out=out)
+
+    def matmul(self, a, b, out=None):
+        return self.torch.matmul(a, b, out=out)
+
+    def copyto(self, dst, src, where=None):
+        if where is None:
+            dst.copy_(self._tensor(src, like=dst))
+            return
+        mask = self._tensor(where) if not self.torch.is_tensor(where) else where
+        mask = self._cached(where, lambda m: self.torch.as_tensor(m, dtype=self.torch.bool, device=self.device)) if not self.torch.is_tensor(where) else mask
+        if self.torch.is_tensor(src):
+            dst[mask] = src[mask]
+        else:
+            dst.masked_fill_(mask, float(src))
+
+    def take(self, x, indices, axis=-1, out=None):
+        dim = axis % x.ndim
+        idx = self._index(indices)
+        flat = idx.reshape(-1)
+        gathered = self.torch.index_select(x, dim, flat)
+        if idx.ndim != 1:
+            shape = x.shape[:dim] + tuple(idx.shape) + x.shape[dim + 1:]
+            gathered = gathered.reshape(shape)
+        if out is not None:
+            out.copy_(gathered)
+            return out
+        return gathered
+
+    def where(self, cond, a, b):
+        return self.torch.where(self._tensor(cond), self._tensor(a, like=b if self.torch.is_tensor(b) else a), b)
+
+    # -- reductions ----------------------------------------------------
+    def max(self, x, axis=None, keepdims=False, out=None):
+        if out is not None:
+            return self.torch.amax(x, dim=axis, keepdim=keepdims, out=out)
+        return self.torch.amax(x, dim=axis, keepdim=keepdims)
+
+    def sum(self, x, axis=None, keepdims=False, out=None):
+        if out is not None:
+            return self.torch.sum(x, dim=axis, keepdim=keepdims, out=out)
+        return self.torch.sum(x, dim=axis, keepdim=keepdims)
+
+    # -- numerics context ---------------------------------------------
+    def errstate(self, **kwargs):
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    # -- RNG -----------------------------------------------------------
+    default_rng = staticmethod(np.random.default_rng)
+
+    # -- introspection / movement --------------------------------------
+    def dtype_of(self, x) -> np.dtype:
+        return self._torch_to_np[x.dtype]
+
+    def astype(self, x, dtype):
+        return x.to(self._dtype(dtype))
+
+    def typed_scalar(self, x, value):
+        return float(value)
+
+    def nbytes(self, x) -> int:
+        return x.numel() * x.element_size()
+
+    def fill_nan(self, x) -> None:
+        if x.is_floating_point():
+            x.fill_(float("nan"))
+
+    def param(self, x):
+        return self._cached(
+            x,
+            lambda arr: self.torch.as_tensor(
+                np.ascontiguousarray(arr), device=self.device
+            ),
+        )
+
+    def from_numpy(self, x):
+        if self.torch.is_tensor(x):
+            return x
+        return self.torch.as_tensor(np.ascontiguousarray(x), device=self.device)
+
+    def to_numpy(self, x) -> np.ndarray:
+        if self.torch.is_tensor(x):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def to_numpy_copy(self, x) -> np.ndarray:
+        return np.array(self.to_numpy(x))
+
+    # -- segment primitives --------------------------------------------
+    def segment_sum(self, index, weights, minlength: int):
+        out = self.torch.zeros(minlength, dtype=self.torch.float64, device=self.device)
+        out.index_add_(0, self._index(index), weights.reshape(-1).double())
+        return out
+
+    def segment_max_into(self, out_flat, index, values) -> None:
+        out_flat.index_reduce_(
+            0, self._index(index), values.reshape(-1), "amax", include_self=True
+        )
+
+    def expand_segments(self, per_segment, index):
+        return self.torch.index_select(per_segment, -1, self._index(index))
+
+    # -- sparse aggregation --------------------------------------------
+    def _sparse(self, csr, dtype):
+        key = (id(csr), dtype)
+        hit = self._csr_cache.get(key)
+        if hit is None or hit[0] is not csr:
+            tensor = self.torch.sparse_csr_tensor(
+                self.torch.as_tensor(csr.indptr, dtype=self.torch.int64),
+                self.torch.as_tensor(csr.indices, dtype=self.torch.int64),
+                self.torch.as_tensor(csr.data).to(dtype),
+                size=csr.shape,
+                device=self.device,
+            )
+            hit = (csr, tensor)
+            self._csr_cache[key] = hit
+        return hit[1]
+
+    def csr_matmul_into(self, csr, dense, out):
+        if dense.ndim > 2:
+            for b in range(dense.shape[0]):
+                self.csr_matmul_into(csr, dense[b], out[b])
+            return out
+        out.copy_(self.torch.matmul(self._sparse(csr, dense.dtype), dense))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Backend selection policy (mirrors repro.nn.precision.Precision)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Backend:
+    """Array-backend policy: which namespace runs the fused pipeline.
+
+    Frozen and hashable so it can sit in cache keys next to
+    :class:`~repro.nn.precision.Precision`. ``Backend("numpy")`` is the
+    default and the bit-identity reference; ``Backend("torch")`` is
+    import-gated — constructing it is always legal (so configs mentioning
+    torch parse everywhere), but touching :attr:`ops` without torch
+    installed raises :class:`~repro.exceptions.ReproError`.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _SUPPORTED:
+            raise ReproError(
+                f"unsupported backend {self.name!r}; expected one of {_SUPPORTED}"
+            )
+
+    @property
+    def available(self) -> bool:
+        """Whether the backing library is importable."""
+        if self.name == "numpy":
+            return True
+        return importlib.util.find_spec("torch") is not None
+
+    @property
+    def ops(self):
+        """The ops namespace (constructed lazily for torch)."""
+        if self.name == "numpy":
+            return NUMPY_OPS
+        return _torch_ops()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+NUMPY = Backend("numpy")
+TORCH = Backend("torch")
+
+#: The default when neither an explicit spec nor REPRO_BACKEND selects one.
+DEFAULT_BACKEND = NUMPY
+
+_TORCH_OPS: TorchOps | None = None
+
+
+def _torch_ops() -> TorchOps:
+    global _TORCH_OPS
+    if _TORCH_OPS is None:
+        try:
+            _TORCH_OPS = TorchOps()
+        except ImportError as exc:
+            raise ReproError(
+                "backend 'torch' selected but torch is not installed; "
+                "install torch or use REPRO_BACKEND=numpy / --backend numpy"
+            ) from exc
+    return _TORCH_OPS
+
+
+def resolve_backend(spec: "Backend | str | None" = None) -> Backend:
+    """Resolve a backend spec with precedence *env < config < CLI*.
+
+    An explicit ``spec`` (a :class:`Backend`, or a name string from a
+    config field or CLI flag) always wins; when ``spec`` is None the
+    ``REPRO_BACKEND`` environment variable is consulted; when that is
+    unset too, the numpy default applies.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    if spec is not None:
+        return Backend(str(spec))
+    env = os.environ.get(ENV_BACKEND, "").strip()
+    if env:
+        return Backend(env)
+    return DEFAULT_BACKEND
+
+
+# ----------------------------------------------------------------------
+# Per-array dispatch (what the kernels call)
+# ----------------------------------------------------------------------
+#: Foreign ops registry: top-level module name of the array type -> ops.
+_FOREIGN_OPS: dict[str, object] = {}
+
+
+def register_array_ops(module_root: str, ops) -> None:
+    """Register an ops namespace for arrays of a third-party module.
+
+    ``module_root`` is the first component of the array type's
+    ``__module__`` (e.g. ``"torch"``). Registering is how an
+    out-of-tree backend plugs into :func:`array_ops` dispatch.
+    """
+    _FOREIGN_OPS[str(module_root)] = ops
+
+
+def foreign_ops(x):
+    """The registered ops for a non-numpy array, or None for numpy/host.
+
+    Torch tensors self-register on first sight (if a tensor exists,
+    torch is importable).
+    """
+    if isinstance(x, np.ndarray):
+        return None
+    root = type(x).__module__.partition(".")[0]
+    if root in ("builtins", "numpy"):
+        return None
+    ops = _FOREIGN_OPS.get(root)
+    if ops is None:
+        if root == "torch":  # pragma: no cover - requires torch
+            ops = _torch_ops()
+            _FOREIGN_OPS[root] = ops
+        else:
+            raise ReproError(
+                f"no array backend registered for {type(x).__name__!r} "
+                f"(module {root!r}); see repro.core.backend.register_array_ops"
+            )
+    return ops
+
+
+def array_ops(x):
+    """The ops namespace that owns array ``x`` (numpy fast path first)."""
+    return foreign_ops(x) or NUMPY_OPS
+
+
+def resolve_ops(spec=None):
+    """Ops namespace from a Backend/str/ops spec; numpy when None.
+
+    Unlike :func:`resolve_backend` this does *not* consult the
+    environment: it is the constructor-level helper for objects like
+    ``Workspace`` whose owner has already resolved the pipeline
+    backend. A duck-typed ops instance passes through unchanged.
+    """
+    if spec is None:
+        return NUMPY_OPS
+    if isinstance(spec, (Backend, str)):
+        return resolve_backend(spec).ops
+    return spec

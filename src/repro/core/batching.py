@@ -61,6 +61,14 @@ kernel                   writes            inout        scratch     may alias
 shape, strides): the safe elementwise case actually used by call
 sites. Partial overlap is never legal. All other argument pairs
 involving a clobbered buffer must be disjoint.
+
+**Backend dispatch.** Every kernel routes its array calls through
+:mod:`repro.core.backend`: ``array_ops(out)`` picks the ops namespace
+owning the output array (numpy by default, torch for torch tensors).
+The numpy namespace aliases the exact ``np.*`` callables these kernels
+always used, so the dispatched numpy path is bit-identical to the
+pre-dispatch kernels — the only numpy-path cost is one ``type`` check
+per kernel call (benchmarks/bench_backend.py keeps that honest).
 """
 
 from __future__ import annotations
@@ -71,12 +79,7 @@ from typing import NamedTuple
 import numpy as np
 import scipy.sparse as sp
 
-try:  # scipy's typed C kernels; fall back to `csr @ dense` if moved.
-    from scipy.sparse import _sparsetools
-
-    _CSR_MATVECS = _sparsetools.csr_matvecs
-except (ImportError, AttributeError):  # pragma: no cover - scipy internal
-    _CSR_MATVECS = None
+from .backend import NUMPY_OPS, array_ops, foreign_ops, resolve_ops
 
 #: Armed by repro.lint.sanitize.install_sanitizers (REPRO_SANITIZE=1):
 #: Workspace.buffer NaN-poisons fresh allocations when set.
@@ -110,19 +113,23 @@ class SegmentOps:
 
         Row ``t`` equals ``np.bincount(index, weights[t], minlength=S)``
         bit for bit (same accumulation order per segment). Accumulation
-        is always float64 (bincount's accumulator); ``dtype`` selects
-        the storage dtype of the result (default: float64, the historic
-        behaviour).
+        is always float64 (bincount's accumulator — backends implement
+        the same contract, e.g. ``index_add_`` on a float64 buffer);
+        ``dtype`` selects the storage dtype of the result (default:
+        float64, the historic behaviour).
         """
-        weights = np.asarray(weights)
+        ops = foreign_ops(weights)
+        if ops is None:
+            ops = NUMPY_OPS
+            weights = np.asarray(weights)
         batch = weights.shape[0]
-        out = np.bincount(
+        out = ops.segment_sum(
             self.tiled_index(batch),
-            weights=weights.reshape(-1),
-            minlength=batch * self.num_segments,
+            weights.reshape(-1),
+            batch * self.num_segments,
         ).reshape(batch, self.num_segments)
-        if dtype is not None and out.dtype != dtype:
-            out = out.astype(dtype)
+        if dtype is not None and ops.dtype_of(out) != np.dtype(dtype):
+            out = ops.astype(out, dtype)
         return out
 
     def max(
@@ -134,23 +141,26 @@ class SegmentOps:
         """Per-segment maxima: (T, N) values -> (T, S), empty segments
         keep ``initial``. ``dtype`` selects the result dtype (default:
         the values' own dtype)."""
-        values = np.asarray(values)
+        ops = foreign_ops(values)
+        if ops is None:
+            ops = NUMPY_OPS
+            values = np.asarray(values)
         batch = values.shape[0]
-        out = np.full(
+        out = ops.full(
             batch * self.num_segments,
             initial,
-            dtype=values.dtype if dtype is None else dtype,
+            dtype=ops.dtype_of(values) if dtype is None else dtype,
         )
-        np.maximum.at(out, self.tiled_index(batch), values.reshape(-1))
+        ops.segment_max_into(out, self.tiled_index(batch), values.reshape(-1))
         return out.reshape(batch, self.num_segments)
 
     def expand(self, per_segment: np.ndarray) -> np.ndarray:
         """Gather per-segment values back to elements: (T, S) -> (T, N)."""
-        return np.asarray(per_segment)[:, self.index]
+        return array_ops(per_segment).expand_segments(per_segment, self.index)
 
     def expand_into(self, per_segment: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Fused :meth:`expand`: gather (T, S) -> (T, N) into ``out``."""
-        np.take(per_segment, self.index, axis=-1, out=out)
+        array_ops(out).take(per_segment, self.index, axis=-1, out=out)
         return out
 
 
@@ -172,12 +182,28 @@ class Workspace:
     respects this by construction (each grid job builds its own
     schemes); share across threads only behind a lock, or use separate
     scheme instances.
+
+    Args:
+        backend: Where buffers live — a :class:`~repro.core.backend.
+            Backend`, a backend name, or a duck-typed ops namespace.
+            Defaults to numpy (the owner resolves ``REPRO_BACKEND``;
+            a bare workspace never consults the environment). Buffers
+            are keyed per *device* as well as per call site, so the
+            same workspace keeps serving its keys correctly across a
+            backend switch instead of handing one backend another's
+            memory.
     """
 
-    __slots__ = ("_buffers",)
+    __slots__ = ("_buffers", "_ops")
 
-    def __init__(self) -> None:
+    def __init__(self, backend=None) -> None:
+        self._ops = resolve_ops(backend)
         self._buffers: dict[object, np.ndarray] = {}
+
+    @property
+    def ops(self):
+        """The ops namespace buffers are allocated through."""
+        return self._ops
 
     def buffer(self, key, shape: tuple[int, ...], dtype) -> np.ndarray:
         """The buffer registered under ``key``, (re)allocated on shape or
@@ -190,12 +216,14 @@ class Workspace:
         """
         shape = tuple(shape)
         dtype = np.dtype(dtype)
-        buf = self._buffers.get(key)
-        if buf is None or buf.shape != shape or buf.dtype != dtype:
-            buf = np.empty(shape, dtype=dtype)
-            if _SANITIZE and buf.dtype.kind == "f":
-                buf.fill(np.nan)
-            self._buffers[key] = buf
+        ops = self._ops
+        slot = (ops.device_key, key)
+        buf = self._buffers.get(slot)
+        if buf is None or tuple(buf.shape) != shape or ops.dtype_of(buf) != dtype:
+            buf = ops.empty(shape, dtype)
+            if _SANITIZE and dtype.kind == "f":
+                ops.fill_nan(buf)
+            self._buffers[slot] = buf
         return buf
 
     def clear(self) -> None:
@@ -209,7 +237,7 @@ class Workspace:
     @property
     def total_bytes(self) -> int:
         """Resident scratch memory (diagnostic for the benchmarks)."""
-        return sum(buf.nbytes for buf in self._buffers.values())
+        return sum(self._ops.nbytes(buf) for buf in self._buffers.values())
 
 
 # ----------------------------------------------------------------------
@@ -218,40 +246,18 @@ class Workspace:
 def csr_matmul_into(csr: sp.csr_matrix, dense: np.ndarray, out: np.ndarray) -> np.ndarray:
     """``out = csr @ dense`` through a preallocated buffer.
 
-    The sparse-aggregation kernel of the FlowGNN fast path. Uses scipy's
-    ``csr_matvecs`` C routine directly (it *accumulates* into the output
-    buffer, so the buffer is zeroed first); a (B, N, F) batched operand
-    runs one call per batch row — per output element the accumulation
-    order over the row's nonzeros is identical to ``csr @ dense``, so the
-    result is bit-identical to the allocating product. Falls back to the
-    allocating product if scipy's internals are unavailable or the
-    operands are not contiguous/dtype-matched.
+    The sparse-aggregation kernel of the FlowGNN fast path. The numpy
+    backend uses scipy's ``csr_matvecs`` C routine directly (it
+    *accumulates* into the output buffer, so the buffer is zeroed
+    first); a (B, N, F) batched operand runs one call per batch row —
+    per output element the accumulation order over the row's nonzeros
+    is identical to ``csr @ dense``, so the result is bit-identical to
+    the allocating product (with an allocating fallback when scipy's
+    internals are unavailable or the operands are not
+    contiguous/dtype-matched). See
+    :meth:`repro.core.backend.NumpyOps.csr_matmul_into`.
     """
-    if dense.ndim > 2:
-        for b in range(dense.shape[0]):
-            csr_matmul_into(csr, dense[b], out[b])
-        return out
-    if (
-        _CSR_MATVECS is None
-        or csr.data.dtype != dense.dtype
-        or not dense.flags.c_contiguous
-        or not out.flags.c_contiguous
-    ):
-        out[...] = csr @ dense
-        return out
-    n_row, n_col = csr.shape
-    out[...] = 0.0
-    _CSR_MATVECS(
-        n_row,
-        n_col,
-        dense.shape[1],
-        csr.indptr,
-        csr.indices,
-        csr.data,
-        dense.reshape(-1),
-        out.reshape(-1),
-    )
-    return out
+    return array_ops(out).csr_matmul_into(csr, dense, out)
 
 
 def pair_linear_into(
@@ -268,9 +274,10 @@ def pair_linear_into(
     the same op order (top product, plus bottom product, plus bias), so
     forward values are bit-identical at fixed dtype.
     """
+    ops = array_ops(out)
     split = a.shape[-1]
-    np.matmul(a, weight[:split], out=out)
-    np.matmul(b, weight[split:], out=scratch)
+    ops.matmul(a, weight[:split], out=out)
+    ops.matmul(b, weight[split:], out=scratch)
     out += scratch
     if bias is not None:
         out += bias
@@ -281,7 +288,7 @@ def linear_into(
     x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, out: np.ndarray
 ) -> np.ndarray:
     """``out = x @ weight (+ bias)`` — fused affine map."""
-    np.matmul(x, weight, out=out)
+    array_ops(out).matmul(x, weight, out=out)
     if bias is not None:
         out += bias
     return out
@@ -289,12 +296,12 @@ def linear_into(
 
 def tanh_(x: np.ndarray) -> np.ndarray:
     """In-place tanh (activation of the fused forward)."""
-    return np.tanh(x, out=x)
+    return array_ops(x).tanh(x, out=x)
 
 
 def relu_(x: np.ndarray) -> np.ndarray:
     """In-place ReLU, same expression as ``F.relu`` (max(x, 0))."""
-    return np.maximum(x, 0.0, out=x)
+    return array_ops(x).maximum(x, 0.0, out=x)
 
 
 def take_rows_into(x: np.ndarray, indices: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -303,7 +310,7 @@ def take_rows_into(x: np.ndarray, indices: np.ndarray, out: np.ndarray) -> np.nd
     Raw-array twin of :func:`repro.nn.functional.take_rows` (forward
     only — the fast path never needs the scatter-add backward).
     """
-    np.take(x, indices, axis=-2, out=out)
+    array_ops(out).take(x, indices, axis=-2, out=out)
     return out
 
 
@@ -320,7 +327,7 @@ def padded_take_rows_into(
     ``invalid_rows`` the flat positions of those padding slots (both
     precomputed once per model — the masks are static).
     """
-    np.take(x, safe_indices, axis=-2, out=out)
+    array_ops(out).take(x, safe_indices, axis=-2, out=out)
     if invalid_rows.size:
         out[..., invalid_rows, :] = 0.0
     return out
@@ -341,15 +348,16 @@ def masked_softmax_into(
     it is static per pathset); ``reduce_buf`` holds the keepdims
     max/denominator, shape ``out.shape[:-1] + (1,)``.
     """
+    ops = array_ops(out)
     if out is not logits:
-        np.copyto(out, logits)
-    np.copyto(out, out.dtype.type(-1e30), where=not_mask)
-    np.max(out, axis=-1, keepdims=True, out=reduce_buf)
+        ops.copyto(out, logits)
+    ops.copyto(out, ops.typed_scalar(out, -1e30), where=not_mask)
+    ops.max(out, axis=-1, keepdims=True, out=reduce_buf)
     out -= reduce_buf
-    np.exp(out, out=out)
-    np.copyto(out, 0.0, where=not_mask)
-    np.sum(out, axis=-1, keepdims=True, out=reduce_buf)
-    np.maximum(reduce_buf, 1e-30, out=reduce_buf)
+    ops.exp(out, out=out)
+    ops.copyto(out, 0.0, where=not_mask)
+    ops.sum(out, axis=-1, keepdims=True, out=reduce_buf)
+    ops.maximum(reduce_buf, 1e-30, out=reduce_buf)
     out /= reduce_buf
     return out
 
@@ -377,16 +385,17 @@ def admm_f_rhs_into(
     dtype: lower-precision operands (e.g. float32 duals/slacks under the
     mixed-precision policy) are promoted, never the reverse.
     """
-    np.multiply(d_p, w_p, out=out)
+    ops = array_ops(out)
+    ops.multiply(d_p, w_p, out=out)
     out -= lam1_g
-    np.multiply(d_p, lam4_pp, out=tmp)
+    ops.multiply(d_p, lam4_pp, out=tmp)
     out -= tmp
     # A dtype-strong 1.0 keeps the subtraction in out's precision even
     # when s1_g is a float32 gather.
-    np.subtract(tmp.dtype.type(1.0), s1_g, out=tmp)
+    ops.subtract(ops.typed_scalar(tmp, 1.0), s1_g, out=tmp)
     tmp *= rho
     out += tmp
-    np.multiply(d_p, rho, out=tmp)
+    ops.multiply(d_p, rho, out=tmp)
     tmp *= z_pp
     out += tmp
     return out
@@ -402,9 +411,10 @@ def admm_f_solve_into(
 
     ``out = clip(inv_a_over_rho * (b - correction_g), 0, 1)``.
     """
-    np.subtract(b, correction_g, out=out)
+    ops = array_ops(out)
+    ops.subtract(b, correction_g, out=out)
     out *= inv_a_over_rho
-    np.clip(out, 0.0, 1.0, out=out)
+    ops.clip(out, 0.0, 1.0, out=out)
     return out
 
 
@@ -422,7 +432,7 @@ def admm_z_rhs_into(
     ``slack_g`` and ``flow_g`` are scaled in place (they are scratch
     gathers of ``(c - s3)`` and ``F*d``).
     """
-    np.negative(lam3_g, out=out)
+    array_ops(out).negative(lam3_g, out=out)
     out += lam4
     slack_g *= rho
     out += slack_g
@@ -435,7 +445,7 @@ def admm_z_solve_into(
     beta: np.ndarray, correction_g: np.ndarray, rho: float, out: np.ndarray
 ) -> np.ndarray:
     """Rank-1-plus-identity z-solve: ``out = (beta - correction_g) / rho``."""
-    np.subtract(beta, correction_g, out=out)
+    array_ops(out).subtract(beta, correction_g, out=out)
     out /= rho
     return out
 
@@ -449,10 +459,11 @@ def admm_slack_into(
     tmp: np.ndarray,
 ) -> np.ndarray:
     """Non-negative slack update: ``out = max(0, (bound - total) - dual/rho)``."""
-    np.subtract(bound, total, out=out)
-    np.divide(dual, rho, out=tmp)
+    ops = array_ops(out)
+    ops.subtract(bound, total, out=out)
+    ops.divide(dual, rho, out=tmp)
     out -= tmp
-    np.maximum(out, 0.0, out=out)
+    ops.maximum(out, 0.0, out=out)
     return out
 
 
@@ -465,7 +476,7 @@ def admm_dual_step_(
     tmp: np.ndarray,
 ) -> np.ndarray:
     """Dual ascent step, fused: ``dual += rho * (total + slack - bound)``."""
-    np.add(total, slack, out=tmp)
+    array_ops(dual).add(total, slack, out=tmp)
     tmp -= bound
     tmp *= rho
     dual += tmp

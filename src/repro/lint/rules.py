@@ -29,11 +29,14 @@ The four rules and the invariants they guard:
   serialization, and wall-clock reads outside the timing-designated
   modules all introduce run-to-run variance that those guarantees
   cannot survive.
-- **RL004 dispatch-seam** — every hot-path tensor op must reach numpy
-  through the fused-kernel seam in :mod:`repro.core.batching` so the
-  planned backend swap (numpy -> cupy/torch) is a one-point change. A
-  direct ``np.matmul`` / ``np.einsum`` / ``@`` in a hot-path module is
-  a second dispatch point the swap would miss.
+- **RL004 dispatch-seam** — every hot-path tensor op must reach the
+  array library through the ops namespaces in
+  :mod:`repro.core.backend` (the fused kernels in
+  :mod:`repro.core.batching` already do) so backend selection
+  (numpy/torch) stays a one-point change. A direct ``np.matmul`` /
+  ``np.einsum`` / ``@`` — or a raw ``np.empty``/``np.zeros``
+  allocation — in a hot-path module is a second dispatch point the
+  swap would miss.
 """
 
 from __future__ import annotations
@@ -120,12 +123,13 @@ RULES: dict[str, Rule] = {
         ),
         Rule(
             id="RL004",
-            title="hot-path tensor ops must go through core/batching.py",
+            title="hot-path tensor ops must go through core/backend.py",
             rationale=(
-                "direct np.matmul/np.einsum/@/.dot in hot-path modules "
-                "bypasses the fused-kernel dispatch seam that the pluggable "
-                "GPU backend will replace; route through the core/batching "
-                "kernels."
+                "direct np.matmul/np.einsum/@/.dot calls and raw "
+                "np.empty/np.zeros allocations in hot-path modules bypass "
+                "the backend dispatch seam (repro.core.backend) that "
+                "selects the array library; route through the "
+                "core/batching kernels or the backend ops namespace."
             ),
             scope="hot-path modules (see HOT_PATH_MODULES)",
         ),
@@ -155,10 +159,13 @@ TIMING_MODULES = (
 )
 
 #: Hot-path modules (RL004): the inference/ADMM pipeline plus the
-#: autodiff reference path that the fused kernels mirror. The seam
-#: itself (core/batching.py) is exempt — it is the one module allowed
-#: to touch numpy's matmul directly.
+#: autodiff reference path that the fused kernels mirror. Since the
+#: backend refactor the fused kernels in core/batching.py are hot-path
+#: too — they must dispatch through the ops namespaces. The seam
+#: itself (core/backend.py) is the sole exempt module: it is the one
+#: place direct numpy/torch calls are *supposed* to live.
 HOT_PATH_MODULES = (
+    "/repro/core/batching.py",
     "/repro/core/flowgnn.py",
     "/repro/core/model.py",
     "/repro/core/admm.py",
@@ -170,7 +177,7 @@ HOT_PATH_MODULES = (
     "/repro/simulation/streaming.py",
 )
 
-DISPATCH_SEAM_MODULE = "/repro/core/batching.py"
+DISPATCH_SEAM_MODULE = "/repro/core/backend.py"
 
 
 def _norm(path: str) -> str:

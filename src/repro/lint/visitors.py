@@ -356,9 +356,16 @@ class DeterminismVisitor(_RuleVisitor):
 
 
 class DispatchSeamVisitor(_RuleVisitor):
-    """RL004: direct matmul/einsum/@/.dot in hot-path modules."""
+    """RL004: direct matmul/einsum/@/.dot or raw np.empty/np.zeros in
+    hot-path modules (the seam module itself, core/backend.py, is
+    exempted by :func:`in_hot_path`)."""
 
     rule = "RL004"
+
+    #: Raw numpy allocators: hot-path buffers must come from
+    #: ``Workspace.buffer`` / the backend ops namespace so a non-numpy
+    #: backend allocates on its own device.
+    _RAW_ALLOCATORS = frozenset({"empty", "zeros"})
 
     @classmethod
     def applies(cls, path: str) -> bool:
@@ -387,6 +394,19 @@ class DispatchSeamVisitor(_RuleVisitor):
                     f"np.{func.attr} in a hot-path module bypasses the "
                     "fused-kernel dispatch seam; route through a "
                     "core/batching kernel",
+                )
+            elif (
+                func.attr in self._RAW_ALLOCATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                self.add(
+                    node,
+                    f"np.{func.attr} in a hot-path module allocates a "
+                    "numpy buffer outside the backend dispatch seam; "
+                    "use Workspace.buffer or the backend ops namespace "
+                    "(repro.core.backend) so non-numpy backends "
+                    "allocate on their own device",
                 )
             elif func.attr == "dot":
                 self.add(

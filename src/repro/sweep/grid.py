@@ -75,6 +75,10 @@ class ScenarioSuite:
             default, measured to match float64 sweep results within 1e-4
             relative — or ``"float64"``). Training always runs float64;
             see :mod:`repro.nn.precision`.
+        backend: Array backend for Teal's fused inference
+            (``"numpy"``, ``"torch"``, or None to defer to the
+            ``REPRO_BACKEND`` env then numpy — see
+            :mod:`repro.core.backend`).
         scale: Topology size factor (None = per-topology benchmark scale).
         max_pairs: Demand-pair budget (None = all ordered pairs).
         train: Training matrices per scenario.
@@ -94,6 +98,7 @@ class ScenarioSuite:
     objective: str = "total_flow"
     training: TrainingConfig | None = None
     precision: str = "float32"
+    backend: str | None = None
     scale: float | None = None
     max_pairs: int | None = 1200
     train: int = 8
@@ -121,6 +126,11 @@ class ScenarioSuite:
             raise ReproError(
                 f"unknown precision {self.precision!r}; "
                 "expected 'float32' or 'float64'"
+            )
+        if self.backend not in (None, "numpy", "torch"):
+            raise ReproError(
+                f"unknown backend {self.backend!r}; "
+                "expected 'numpy' or 'torch'"
             )
 
     @property
@@ -369,6 +379,7 @@ def _run_topology_job(
             config=suite.training,
             seed=seed,
             precision=suite.precision,
+            backend=suite.backend,
             cache_dir=cache_dir,
         )
         train_seconds = time.perf_counter() - start

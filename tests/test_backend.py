@@ -1,0 +1,316 @@
+"""Tests for the array-backend dispatch layer (``repro.core.backend``).
+
+Milestone-1 bar (see README "Backend substrate"): the numpy backend
+must be *bit-identical* to the pre-dispatch kernels. The namespace
+guarantees this by construction — every ufunc attribute is a direct
+alias of the numpy callable the kernels historically invoked — and the
+tests here assert both the aliases and end-to-end bitwise equality of
+the dispatched fused pipeline against the untouched Tensor reference
+path on B4/SWAN/UsCarrier at both precisions. Torch coverage is a
+parity-*tolerance* test, skipped when torch is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AdmmConfig
+from repro.core.admm import AdmmFineTuner
+from repro.core.backend import (
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    NUMPY,
+    NUMPY_OPS,
+    TORCH,
+    Backend,
+    NumpyOps,
+    array_ops,
+    foreign_ops,
+    register_array_ops,
+    resolve_backend,
+    resolve_ops,
+)
+from repro.core.batching import (
+    Workspace,
+    linear_into,
+    masked_softmax_into,
+    pair_linear_into,
+    relu_,
+    tanh_,
+)
+from repro.core.model import TealModel
+from repro.exceptions import ReproError
+from repro.paths import PathSet
+from repro.topology import get_topology
+from repro.traffic import TrafficTrace
+
+
+# ----------------------------------------------------------------------
+# Selection policy
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert resolve_backend(None) is DEFAULT_BACKEND
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "torch")
+        assert resolve_backend(None) == TORCH
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "torch")
+        assert resolve_backend("numpy") == NUMPY
+        assert resolve_backend(NUMPY) is NUMPY
+
+    def test_blank_env_falls_through(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "  ")
+        assert resolve_backend(None) == NUMPY
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ReproError, match="unsupported backend"):
+            Backend("cupy")
+        with pytest.raises(ReproError, match="unsupported backend"):
+            resolve_backend("cupy")
+        monkeypatch.setenv(ENV_BACKEND, "cupy")
+        with pytest.raises(ReproError, match="unsupported backend"):
+            resolve_backend(None)
+
+    def test_hashable_for_cache_keys(self):
+        assert Backend("numpy") == NUMPY
+        assert len({Backend("numpy"), NUMPY, TORCH}) == 2
+        with pytest.raises(Exception):
+            NUMPY.name = "torch"  # frozen
+
+    def test_numpy_always_available(self):
+        assert NUMPY.available
+        assert NUMPY.ops is NUMPY_OPS
+
+    def test_torch_ops_raise_cleanly_when_absent(self):
+        if TORCH.available:
+            pytest.skip("torch installed; the gate is exercised elsewhere")
+        with pytest.raises(ReproError, match="torch is not installed"):
+            TORCH.ops
+
+    def test_resolve_ops_never_consults_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "torch")
+        # Workspace construction with backend=None must stay numpy even
+        # under REPRO_BACKEND=torch: env resolution happens only at the
+        # scheme/CLI selection points.
+        assert resolve_ops(None) is NUMPY_OPS
+        assert resolve_ops("numpy") is NUMPY_OPS
+        sentinel = object()
+        assert resolve_ops(sentinel) is sentinel  # duck-typed passthrough
+
+
+# ----------------------------------------------------------------------
+# Value dispatch
+# ----------------------------------------------------------------------
+class TestArrayOps:
+    def test_numpy_arrays_hit_the_shared_namespace(self):
+        assert array_ops(np.zeros(3)) is NUMPY_OPS
+        assert foreign_ops(np.zeros(3)) is None
+        assert foreign_ops([1.0, 2.0]) is None  # builtins -> host/numpy
+
+    def test_unregistered_foreign_type_rejected(self):
+        class Alien:
+            pass
+
+        Alien.__module__ = "alienlib.arrays"
+        with pytest.raises(ReproError, match="no array backend registered"):
+            array_ops(Alien())
+
+    def test_register_array_ops_extends_dispatch(self):
+        class Alien2:
+            pass
+
+        Alien2.__module__ = "alienlib2.arrays"
+        ops = object()
+        register_array_ops("alienlib2", ops)
+        try:
+            assert array_ops(Alien2()) is ops
+        finally:
+            from repro.core.backend import _FOREIGN_OPS
+
+            _FOREIGN_OPS.pop("alienlib2", None)
+
+
+# ----------------------------------------------------------------------
+# Numpy bit-identity: aliases and dispatched kernels
+# ----------------------------------------------------------------------
+class TestNumpyBitIdentity:
+    def test_ufunc_attributes_are_numpy_aliases(self):
+        # The structural guarantee: dispatching through the namespace
+        # runs the identical C routine the kernels always called.
+        assert NUMPY_OPS.multiply is np.multiply
+        assert NUMPY_OPS.subtract is np.subtract
+        assert NUMPY_OPS.add is np.add
+        assert NUMPY_OPS.maximum is np.maximum
+        assert NUMPY_OPS.matmul is np.matmul
+        assert NUMPY_OPS.exp is np.exp
+        assert NUMPY_OPS.tanh is np.tanh
+        assert NUMPY_OPS.clip is np.clip
+        assert NUMPY_OPS.copyto is np.copyto
+        assert NUMPY_OPS.take is np.take
+        assert NUMPY_OPS.empty is np.empty
+        assert NUMPY_OPS.default_rng is np.random.default_rng
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_dispatched_kernels_match_inline_numpy(self, dtype):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((5, 8)).astype(dtype)
+        w = rng.standard_normal((8, 6)).astype(dtype)
+        b = rng.standard_normal(6).astype(dtype)
+
+        out = np.empty((5, 6), dtype=dtype)
+        linear_into(x, w, b, out)
+        expected = np.matmul(x, w)
+        np.add(expected, b, out=expected)
+        assert np.array_equal(out, expected)
+
+        y = rng.standard_normal((5, 6)).astype(dtype)
+        w2 = rng.standard_normal((8 + 6, 7)).astype(dtype)
+        b2 = rng.standard_normal(7).astype(dtype)
+        pair_out = np.empty((5, 7), dtype=dtype)
+        scratch = np.empty((5, 7), dtype=dtype)
+        pair_linear_into(x, y, w2, b2, pair_out, scratch)
+        ref2 = np.matmul(x, w2[:8])
+        ref2 += np.matmul(y, w2[8:])
+        ref2 += b2
+        assert np.array_equal(pair_out, ref2)
+
+        t = x.copy()
+        tanh_(t)
+        assert np.array_equal(t, np.tanh(x))
+        r = x.copy()
+        relu_(r)
+        assert np.array_equal(r, np.maximum(x, 0.0))
+
+        logits = rng.standard_normal((3, 5, 4)).astype(dtype)
+        mask = rng.random((5, 4)) < 0.3
+        soft = np.empty_like(logits)
+        reduce_buf = np.empty((3, 5, 1), dtype=dtype)
+        masked_softmax_into(logits, mask, soft, reduce_buf)
+        ref = logits.copy()
+        ref[..., mask] = dtype(-1e30)
+        ref = ref - ref.max(axis=-1, keepdims=True)
+        ref = np.exp(ref)
+        denom = np.maximum(ref.sum(axis=-1, keepdims=True), np.finfo(dtype).tiny)
+        assert np.allclose(soft, ref / denom, rtol=0, atol=0) or np.array_equal(
+            soft, ref / denom
+        )
+
+
+# ----------------------------------------------------------------------
+# Scheme-level bit-identity across topologies and precisions
+# ----------------------------------------------------------------------
+def _small_case(name: str):
+    scale = {"B4": 1.0, "SWAN": 0.2, "UsCarrier": 0.12}[name]
+    topology = get_topology(name, scale=scale, seed=1)
+    pathset = PathSet.from_topology(topology, max_pairs=60, seed=5)
+    trace = TrafficTrace.generate(topology.num_nodes, 3, seed=11)
+    demands = np.stack(
+        [pathset.demand_volumes(m.values) for m in trace]
+    )
+    return pathset, demands
+
+
+@pytest.mark.parametrize("name", ["B4", "SWAN", "UsCarrier"])
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_numpy_backend_bit_identical_end_to_end(name, dtype, monkeypatch):
+    """backend="numpy" fused pipeline == the pre-refactor reference.
+
+    The Tensor path (``fused=False``) was untouched by the backend
+    refactor, so bitwise equality of the dispatched fused path against
+    it — plus equality between explicit and default backend selection —
+    is the milestone-1 acceptance assertion.
+    """
+    monkeypatch.delenv(ENV_BACKEND, raising=False)
+    pathset, demands = _small_case(name)
+    explicit = TealModel(pathset, seed=3, backend="numpy").astype(dtype)
+    default = TealModel(pathset, seed=3).astype(dtype)
+    assert explicit.backend == NUMPY
+    assert default.backend == NUMPY
+
+    fused = explicit.split_ratios_batch(demands, fused=True)
+    assert fused.dtype == dtype
+    assert np.array_equal(fused, default.split_ratios_batch(demands, fused=True))
+    assert np.array_equal(fused, default.split_ratios_batch(demands, fused=False))
+    one = explicit.split_ratios(demands[0], fused=True)
+    assert np.array_equal(one, default.split_ratios(demands[0], fused=False))
+
+    tuner = AdmmFineTuner(
+        pathset, AdmmConfig(iterations=5), backend="numpy",
+        precision="float32" if dtype == np.float32 else "float64",
+    )
+    tuner_default = AdmmFineTuner(
+        pathset, AdmmConfig(iterations=5),
+        precision="float32" if dtype == np.float32 else "float64",
+    )
+    capacities = pathset.topology.capacities
+    tuned = tuner.fine_tune_batch(fused, demands, capacities)
+    assert np.array_equal(
+        tuned, tuner_default.fine_tune_batch(fused, demands, capacities)
+    )
+    assert isinstance(tuned, np.ndarray)  # the boundary stays numpy
+
+
+# ----------------------------------------------------------------------
+# Workspace per-device keying
+# ----------------------------------------------------------------------
+class TestWorkspaceDeviceKeying:
+    def test_same_key_on_two_devices_gets_two_buffers(self):
+        class SecondDevice(NumpyOps):
+            device_key = "numpy-dev2"
+
+        ws = Workspace()
+        a = ws.buffer("acts", (4, 4), np.float64)
+        ws._ops = SecondDevice()
+        b = ws.buffer("acts", (4, 4), np.float64)
+        assert a is not b
+        # Both device slots stay live: switching back is not a realloc.
+        ws._ops = NUMPY_OPS
+        assert ws.buffer("acts", (4, 4), np.float64) is a
+        assert ws.num_buffers == 2
+
+    def test_workspace_accepts_backend_spec(self):
+        assert Workspace("numpy").ops is NUMPY_OPS
+        assert Workspace(NUMPY).ops is NUMPY_OPS
+        assert Workspace().ops is NUMPY_OPS
+
+
+# ----------------------------------------------------------------------
+# Torch parity (tolerance bar, skipped without torch)
+# ----------------------------------------------------------------------
+class TestTorchParity:
+    def test_torch_fused_forward_parity(self, b4_pathset, b4_trace):
+        pytest.importorskip("torch")
+        demands = np.stack(
+            [b4_pathset.demand_volumes(m.values) for m in b4_trace[:3]]
+        )
+        reference = TealModel(b4_pathset, seed=3, backend="numpy")
+        model = TealModel(b4_pathset, seed=3, backend="torch")
+        assert model.backend == TORCH
+        expected = reference.split_ratios_batch(demands, fused=True)
+        got = model.split_ratios_batch(demands, fused=True)
+        assert isinstance(got, np.ndarray)  # boundary stays numpy
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-8)
+
+    def test_torch_admm_parity(self, b4_pathset, b4_trace):
+        pytest.importorskip("torch")
+        demands = np.stack(
+            [b4_pathset.demand_volumes(m.values) for m in b4_trace[:3]]
+        )
+        model = TealModel(b4_pathset, seed=3)
+        ratios = model.split_ratios_batch(demands)
+        capacities = b4_pathset.topology.capacities
+        ref = AdmmFineTuner(b4_pathset, AdmmConfig(iterations=5))
+        tuner = AdmmFineTuner(
+            b4_pathset, AdmmConfig(iterations=5), backend="torch"
+        )
+        np.testing.assert_allclose(
+            tuner.fine_tune_batch(ratios, demands, capacities),
+            ref.fine_tune_batch(ratios, demands, capacities),
+            rtol=1e-6, atol=1e-8,
+        )

@@ -1,0 +1,165 @@
+"""Tests for LRU cache eviction (``repro.cache`` + ``cache prune`` CLI)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheEntry,
+    cache_entries,
+    parse_size,
+    prune_cache_dir,
+    touch,
+)
+from repro.cli import main
+from repro.exceptions import ReproError
+
+
+def _make_entry(cache_dir, name: str, size: int, mtime: float):
+    path = cache_dir / name
+    path.write_bytes(b"x" * size)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestParseSize:
+    def test_plain_and_suffixed(self):
+        assert parse_size(123) == 123
+        assert parse_size("123") == 123
+        assert parse_size("64K") == 64 * 1024
+        assert parse_size("64KB") == 64 * 1024
+        assert parse_size("500m") == 500 * 1024**2
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("1.5M") == int(1.5 * 1024**2)
+        assert parse_size("0") == 0
+
+    def test_rejects_garbage_and_negatives(self):
+        with pytest.raises(ReproError, match="unparseable cache size"):
+            parse_size("lots")
+        with pytest.raises(ReproError, match="non-negative"):
+            parse_size("-1")
+        with pytest.raises(ReproError, match="non-negative"):
+            parse_size(-1)
+
+
+class TestCacheEntries:
+    def test_lru_order_and_prefix_filtering(self, tmp_path):
+        _make_entry(tmp_path, "scenario-aa.npz", 10, 300.0)
+        _make_entry(tmp_path, "teal-bb.npz", 20, 100.0)
+        _make_entry(tmp_path, "teal-cc.npz", 30, 200.0)
+        _make_entry(tmp_path, "unrelated.npz", 99, 50.0)  # not ours
+        _make_entry(tmp_path, "scenario-dd.txt", 99, 50.0)  # wrong suffix
+        entries = cache_entries(tmp_path)
+        assert [e.path.name for e in entries] == [
+            "teal-bb.npz", "teal-cc.npz", "scenario-aa.npz",
+        ]
+        assert [e.bytes for e in entries] == [20, 30, 10]
+        assert all(isinstance(e, CacheEntry) for e in entries)
+
+    def test_mtime_ties_break_by_name(self, tmp_path):
+        _make_entry(tmp_path, "teal-b.npz", 1, 100.0)
+        _make_entry(tmp_path, "teal-a.npz", 1, 100.0)
+        entries = cache_entries(tmp_path)
+        assert [e.path.name for e in entries] == ["teal-a.npz", "teal-b.npz"]
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert cache_entries(tmp_path / "absent") == []
+
+
+class TestPruneCacheDir:
+    def test_evicts_oldest_first_down_to_budget(self, tmp_path):
+        old = _make_entry(tmp_path, "teal-old.npz", 40, 100.0)
+        mid = _make_entry(tmp_path, "scenario-mid.npz", 40, 200.0)
+        new = _make_entry(tmp_path, "teal-new.npz", 40, 300.0)
+        removed = prune_cache_dir(tmp_path, 100)
+        assert removed == [old]
+        assert not old.exists() and mid.exists() and new.exists()
+
+    def test_touch_refreshes_lru_recency(self, tmp_path):
+        a = _make_entry(tmp_path, "teal-a.npz", 40, 100.0)
+        b = _make_entry(tmp_path, "teal-b.npz", 40, 200.0)
+        touch(a)  # a was just read: b becomes the eviction candidate
+        removed = prune_cache_dir(tmp_path, 50)
+        assert removed == [b]
+        assert a.exists() and not b.exists()
+
+    def test_zero_budget_empties_string_sizes_parse(self, tmp_path):
+        _make_entry(tmp_path, "teal-a.npz", 10, 100.0)
+        _make_entry(tmp_path, "scenario-b.npz", 10, 200.0)
+        removed = prune_cache_dir(tmp_path, "0")
+        assert len(removed) == 2
+        assert cache_entries(tmp_path) == []
+
+    def test_under_budget_removes_nothing(self, tmp_path):
+        _make_entry(tmp_path, "teal-a.npz", 10, 100.0)
+        assert prune_cache_dir(tmp_path, "1K") == []
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        a = _make_entry(tmp_path, "teal-a.npz", 40, 100.0)
+        removed = prune_cache_dir(tmp_path, 0, dry_run=True)
+        assert removed == [a]
+        assert a.exists()
+
+    def test_missing_dir_is_noop(self, tmp_path):
+        assert prune_cache_dir(tmp_path / "absent", 0) == []
+
+
+class TestCliCachePrune:
+    def test_prune_end_to_end(self, tmp_path, capsys):
+        _make_entry(tmp_path, "teal-old.npz", 40, 100.0)
+        keep = _make_entry(tmp_path, "teal-new.npz", 40, 200.0)
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-bytes", "50"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "teal-old.npz" in out
+        assert "removed 1 entry" in out
+        assert keep.exists()
+
+    def test_dry_run_keeps_files(self, tmp_path, capsys):
+        a = _make_entry(tmp_path, "scenario-a.npz", 40, 100.0)
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-bytes", "0", "--dry-run"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "would remove" in out
+        assert a.exists()
+
+    def test_bad_size_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-bytes", "lots"]
+        )
+        assert rc == 2
+        assert "unparseable cache size" in capsys.readouterr().err
+
+
+class TestHarnessTouchesOnHit:
+    def test_scenario_and_model_disk_hits_refresh_mtime(self, tmp_path):
+        from repro.config import TrainingConfig
+        from repro.harness import build_scenario, clear_caches, trained_teal
+
+        config = TrainingConfig(steps=1, warm_start_steps=2, log_every=10)
+        kwargs = dict(
+            max_pairs=20, train=2, validation=1, test=1,
+            cache_dir=tmp_path,
+        )
+        scenario = build_scenario("B4", seed=0, **kwargs)
+        trained_teal(scenario, config=config, cache_dir=tmp_path)
+        entries = cache_entries(tmp_path)
+        assert len(entries) == 2  # one scenario + one checkpoint
+        stale = 1000.0
+        for entry in entries:
+            os.utime(entry.path, (stale, stale))
+        clear_caches()  # force the disk tier on the next lookup
+        scenario = build_scenario("B4", seed=0, **kwargs)
+        trained_teal(scenario, config=config, cache_dir=tmp_path)
+        for entry in cache_entries(tmp_path):
+            assert entry.path.stat().st_mtime > stale

@@ -42,6 +42,36 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--cache-dir", "cache"])
         assert args.cache_dir == "cache"
 
+    @pytest.mark.parametrize(
+        "command", ["compare", "failures", "train", "sweep", "stream"]
+    )
+    def test_backend_flag(self, command):
+        args = build_parser().parse_args([command])
+        assert args.backend is None  # defer to REPRO_BACKEND, then numpy
+        args = build_parser().parse_args([command, "--backend", "numpy"])
+        assert args.backend == "numpy"
+        args = build_parser().parse_args([command, "--backend", "torch"])
+        assert args.backend == "torch"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--backend", "cupy"])
+
+    def test_cache_prune_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "cache", "prune",
+                "--cache-dir", "cache",
+                "--max-bytes", "500M",
+                "--dry-run",
+            ]
+        )
+        assert args.cache_dir == "cache"
+        assert args.max_bytes == "500M"
+        assert args.dry_run is True
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
     def test_stream_defaults(self):
         args = build_parser().parse_args(["stream"])
         assert args.topology == "B4"
