@@ -9,6 +9,14 @@ determinism contract) and emits a JSON record (also written to
 ``BENCH_sweep.json`` at the repo root) with per-topology build/train/
 sweep timings and the parallel speedup.
 
+A second sub-benchmark times the grid-cell batching knob: one B4 job
+with a deep failure ladder swept twice, once as a strict per-cell loop
+(``cell_batch=1``, the unbatched baseline) and once fully fused
+(``cell_batch=0``, every level stacked into single kernel invocations).
+The two must agree bit for bit; the record tracks the per-cell
+throughput of each and their ratio under ``"cell_batch"`` in the same
+``BENCH_sweep.json``.
+
 Run standalone::
 
     python benchmarks/bench_scenario_grid.py
@@ -54,10 +62,48 @@ SUITE = ScenarioSuite(
     ),
 )
 
+#: The cell-batching ladder: one B4 job, one scheme, many failure
+#: levels — the shape where fusing cells pays most, since every level
+#: shares one model forward/ADMM/evaluation launch instead of paying
+#: per-call setup eight times.
+LADDER_SUITE = ScenarioSuite(
+    topologies=("B4",),
+    failure_counts=(0, 1, 2, 3, 4, 5, 6, 7),
+    seeds=(0,),
+    schemes=("Teal",),
+    max_pairs=400,
+    train=8,
+    validation=2,
+    test=2,
+    training=TrainingConfig(
+        steps=10, warm_start_steps=40, log_every=50, batch_matrices=4
+    ),
+)
+
 _RECORD_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_sweep.json",
 )
+
+
+def _merge_record(updates: dict) -> None:
+    """Fold ``updates`` into ``BENCH_sweep.json``, keeping other sections.
+
+    The grid benchmark and the cell-batch ladder write disjoint keys;
+    merging lets either run standalone (or under pytest) without wiping
+    the other's figures from the committed record.
+    """
+    record: dict = {}
+    if os.path.exists(_RECORD_PATH):
+        try:
+            with open(_RECORD_PATH) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            record = {}
+    record.update(updates)
+    with open(_RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
 
 
 def _comparable(result: GridResult) -> list[tuple]:
@@ -101,9 +147,52 @@ def run_benchmark(suite: ScenarioSuite = SUITE) -> dict:
             for c in serial.cells
         },
     }
-    with open(_RECORD_PATH, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    _merge_record(record)
+    return record
+
+
+def run_cell_batch_benchmark(
+    suite: ScenarioSuite = LADDER_SUITE, repeats: int = 3
+) -> dict:
+    """Time the failure ladder per-cell vs fully fused; merge the record.
+
+    Every pass shares the in-process scenario/model caches (the timed
+    quantity is ``sweep_seconds``, which excludes build and train), and
+    the fused variant runs *first* so any cold lazy structures — sparse
+    incidence conversions, warm-up allocations — penalize the batched
+    side, keeping the reported speedup conservative. Each variant is
+    swept ``repeats`` times and scored on its best pass, the standard
+    guard against scheduler noise at millisecond sweep times.
+    """
+    fused = run_scenario_grid(suite, executor="serial", cell_batch=0)
+    looped = run_scenario_grid(suite, executor="serial", cell_batch=1)
+    bit_identical = _comparable(fused) == _comparable(looped)
+
+    fused_sweep = sum(t["sweep_seconds"] for t in fused.timings)
+    looped_sweep = sum(t["sweep_seconds"] for t in looped.timings)
+    for _ in range(repeats - 1):
+        again = run_scenario_grid(suite, executor="serial", cell_batch=0)
+        fused_sweep = min(
+            fused_sweep, sum(t["sweep_seconds"] for t in again.timings)
+        )
+        again = run_scenario_grid(suite, executor="serial", cell_batch=1)
+        looped_sweep = min(
+            looped_sweep, sum(t["sweep_seconds"] for t in again.timings)
+        )
+    num_cells = fused.metadata["num_cells"]
+    record = {
+        "topology": suite.topologies[0],
+        "failure_levels": len(suite.failure_counts),
+        "num_cells": num_cells,
+        "matrices_per_cell": suite.test,
+        "unbatched_sweep_seconds": round(looped_sweep, 6),
+        "batched_sweep_seconds": round(fused_sweep, 6),
+        "unbatched_cells_per_second": round(num_cells / looped_sweep, 2),
+        "batched_cells_per_second": round(num_cells / fused_sweep, 2),
+        "cell_throughput_speedup": round(looped_sweep / fused_sweep, 2),
+        "batched_matches_unbatched": bit_identical,
+    }
+    _merge_record({"cell_batch": record})
     return record
 
 
@@ -128,8 +217,26 @@ def test_scenario_grid_benchmark():
     assert nodes["B4"] < nodes["SWAN"] < nodes["UsCarrier"]
 
 
+def test_cell_batch_benchmark():
+    """Fused cell execution equals the per-cell loop bit for bit.
+
+    As with the parallel benchmark above, no hard speedup threshold —
+    runner speed varies — the JSON record tracks the measured cell
+    throughput ratio across PRs while the test pins correctness.
+    """
+    record = run_cell_batch_benchmark()
+    print("\n" + json.dumps(record))
+    assert record["batched_matches_unbatched"], (
+        "cell-batched sweep diverged from the per-cell loop"
+    )
+    assert record["num_cells"] == len(LADDER_SUITE.failure_counts)
+    assert record["batched_sweep_seconds"] > 0.0
+    assert record["unbatched_sweep_seconds"] > 0.0
+
+
 def main() -> int:
     record = run_benchmark()
+    record["cell_batch"] = run_cell_batch_benchmark()
     json.dump(record, sys.stdout)
     sys.stdout.write("\n")
     return 0

@@ -145,6 +145,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         validation=args.validation,
         test=args.matrices,
         training=training,
+        cell_batch=args.cell_batch,
     )
     print(
         f"sweeping {suite.num_jobs} topology job(s), "
@@ -449,6 +450,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_precision(p_sweep)
     add_backend(p_sweep)
+    p_sweep.add_argument(
+        "--cell-batch",
+        type=int,
+        default=None,
+        help="grid-cell fusion bound: 0 stacks every compatible cell of "
+        "a topology job into one batched kernel invocation (the "
+        "default), 1 runs a strict per-cell loop, N>1 fuses chunks of "
+        "at most N failure levels; every value is bit-identical "
+        "(default: the REPRO_CELL_BATCH env var, then 0 — see README "
+        "'Grid cell batching')",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_stream = sub.add_parser(

@@ -142,6 +142,11 @@ class NumpyOps:
         return x.nbytes
 
     @staticmethod
+    def size_of(x) -> int:
+        """Total element count (capacity checks for growable buffers)."""
+        return x.size
+
+    @staticmethod
     def fill_nan(x) -> None:
         x.fill(np.nan)
 
@@ -418,6 +423,9 @@ class TorchOps:  # pragma: no cover - exercised only when torch is installed
 
     def nbytes(self, x) -> int:
         return x.numel() * x.element_size()
+
+    def size_of(self, x) -> int:
+        return x.numel()
 
     def fill_nan(self, x) -> None:
         if x.is_floating_point():

@@ -176,6 +176,14 @@ class Workspace:
     Buffers hold *garbage* between uses — every kernel fully overwrites
     its output.
 
+    Buffers are served as contiguous prefix views of a per-key *backing*
+    allocation that only ever grows: when a call site's shape shrinks
+    (e.g. a cell-batched sweep's final, smaller chunk) the existing
+    backing is re-sliced instead of re-allocated, and a later return to
+    the larger shape reuses the same memory. Only a capacity increase or
+    a dtype switch pays for a fresh allocation, so alternating batch
+    sizes stop churning the allocator entirely.
+
     NOT thread-safe: a workspace (and therefore any model/fine-tuner
     holding one) must be driven by one thread at a time — concurrent
     calls would interleave writes into shared scratch. The sweep engine
@@ -194,11 +202,12 @@ class Workspace:
             memory.
     """
 
-    __slots__ = ("_buffers", "_ops")
+    __slots__ = ("_backing", "_buffers", "_ops")
 
     def __init__(self, backend=None) -> None:
         self._ops = resolve_ops(backend)
         self._buffers: dict[object, np.ndarray] = {}
+        self._backing: dict[object, np.ndarray] = {}
 
     @property
     def ops(self):
@@ -206,29 +215,54 @@ class Workspace:
         return self._ops
 
     def buffer(self, key, shape: tuple[int, ...], dtype) -> np.ndarray:
-        """The buffer registered under ``key``, (re)allocated on shape or
-        dtype change (e.g. a new batch size or a precision switch).
+        """The buffer registered under ``key``, re-sliced or reallocated
+        on shape or dtype change (e.g. a new batch size or a precision
+        switch).
 
-        Under ``REPRO_SANITIZE=1`` fresh allocations are NaN-poisoned
-        instead of holding arbitrary garbage, so a kernel that reads a
-        buffer before fully overwriting it trips the sanitizer's
-        finiteness checks downstream.
+        The returned array is a C-contiguous prefix view of the key's
+        backing allocation; the backing grows when the requested element
+        count exceeds its capacity (or the dtype changes) and is reused
+        otherwise, so shape changes within capacity cost one reshape
+        instead of an allocation.
+
+        Under ``REPRO_SANITIZE=1`` every shape/dtype transition NaN-
+        poisons the served view — not just fresh backing allocations —
+        so a kernel that reads stale scratch carried over from a
+        previous shape trips the sanitizer's finiteness checks
+        downstream exactly as it would on a cold buffer.
         """
         shape = tuple(shape)
         dtype = np.dtype(dtype)
         ops = self._ops
         slot = (ops.device_key, key)
         buf = self._buffers.get(slot)
-        if buf is None or tuple(buf.shape) != shape or ops.dtype_of(buf) != dtype:
-            buf = ops.empty(shape, dtype)
-            if _SANITIZE and dtype.kind == "f":
-                ops.fill_nan(buf)
-            self._buffers[slot] = buf
+        if (
+            buf is not None
+            and tuple(buf.shape) == shape
+            and ops.dtype_of(buf) == dtype
+        ):
+            return buf
+        needed = 1
+        for dim in shape:
+            needed *= int(dim)
+        backing = self._backing.get(slot)
+        if (
+            backing is None
+            or ops.dtype_of(backing) != dtype
+            or ops.size_of(backing) < needed
+        ):
+            backing = ops.empty((needed,), dtype)
+            self._backing[slot] = backing
+        buf = backing[:needed].reshape(shape)
+        if _SANITIZE and dtype.kind == "f":
+            ops.fill_nan(buf)
+        self._buffers[slot] = buf
         return buf
 
     def clear(self) -> None:
         """Drop every buffer (precision switches call this)."""
         self._buffers.clear()
+        self._backing.clear()
 
     @property
     def num_buffers(self) -> int:
@@ -237,7 +271,7 @@ class Workspace:
     @property
     def total_bytes(self) -> int:
         """Resident scratch memory (diagnostic for the benchmarks)."""
-        return sum(self._ops.nbytes(buf) for buf in self._buffers.values())
+        return sum(self._ops.nbytes(buf) for buf in self._backing.values())
 
 
 # ----------------------------------------------------------------------

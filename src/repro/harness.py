@@ -679,6 +679,8 @@ def run_failure_sweep(
     capacity_sets: dict,
     matrices: list[TrafficMatrix] | None = None,
     objective: Objective | None = None,
+    cell_batch: int = 0,
+    workspace=None,
 ) -> dict:
     """Offline comparison across several capacity states in one batch.
 
@@ -689,6 +691,18 @@ def run_failure_sweep(
     sweep shares *one* batched forward (one ``allocate_batch`` call, one
     ADMM fine-tuning run, one evaluation pass for Teal) instead of K.
 
+    ``cell_batch`` bounds how many capacity states (grid cells) fuse
+    into one stacked invocation: 0 (the default) stacks all of them —
+    today's fully-fused behavior — while N > 0 walks the states in
+    chunks of at most N and 1 degenerates to a strict per-cell loop
+    (the unbatched reference the cell-batching benchmarks compare
+    against). Every chunk builds its stacks through the *identical*
+    ``np.tile``/``np.repeat`` recipe, and the batched kernels are
+    row-identical across batch sizes (per-row matmuls, per-row tiled
+    segment reductions), so every ``cell_batch`` setting returns
+    bit-identical results — the chunk size only trades peak stack
+    memory against per-call overhead.
+
     Args:
         scenario: The workload.
         schemes: Mapping name -> scheme.
@@ -696,12 +710,19 @@ def run_failure_sweep(
             capacity vector in effect for that level.
         matrices: Matrices evaluated at every level (default: test split).
         objective: Objective whose raw value is also recorded.
+        cell_batch: Maximum capacity states per stacked invocation
+            (0 = all at once, 1 = per-cell loop).
+        workspace: Optional shared :class:`~repro.core.batching.Workspace`
+            for the evaluation scratch (see
+            :func:`~repro.simulation.evaluator.evaluate_allocations_batch`).
 
     Returns:
         Mapping sweep key -> (mapping scheme name -> :class:`SchemeRun`),
         each entry equal to the corresponding
         :func:`run_offline_comparison` result.
     """
+    from .sweep.cellbatch import chunk_level_keys
+
     if matrices is None:
         matrices = scenario.split.test
     if objective is None:
@@ -717,31 +738,36 @@ def run_failure_sweep(
     demands_one = scenario.pathset.demand_volumes_batch(
         np.stack([m.values for m in matrices])
     )
-    demands_all = np.tile(demands_one, (len(keys), 1))
-    caps_all = np.repeat(
-        np.stack([np.asarray(capacity_sets[key], dtype=float) for key in keys]),
-        num_matrices,
-        axis=0,
-    )
-
-    for name, scheme in schemes.items():
-        allocations = _allocate_all(scheme, scenario.pathset, demands_all, caps_all)
-        ratios_all = np.stack([a.split_ratios for a in allocations])
-        batch_report = evaluate_allocations_batch(
-            scenario.pathset, ratios_all, demands_all, caps_all
+    for chunk in chunk_level_keys(keys, cell_batch):
+        demands_all = np.tile(demands_one, (len(chunk), 1))
+        caps_all = np.repeat(
+            np.stack(
+                [np.asarray(capacity_sets[key], dtype=float) for key in chunk]
+            ),
+            num_matrices,
+            axis=0,
         )
-        values = _objective_values(
-            objective, scenario.pathset, batch_report, ratios_all, demands_all,
-            caps_all,
-        )
-        for row, allocation in enumerate(allocations):
-            key = keys[row // num_matrices]
-            results[key][name].add(
-                satisfied=batch_report.satisfied_fraction[row],
-                compute_time=allocation.compute_time,
-                objective_value=float(values[row]),
-                extras=allocation.extras,
+        for name, scheme in schemes.items():
+            allocations = _allocate_all(
+                scheme, scenario.pathset, demands_all, caps_all
             )
+            ratios_all = np.stack([a.split_ratios for a in allocations])
+            batch_report = evaluate_allocations_batch(
+                scenario.pathset, ratios_all, demands_all, caps_all,
+                workspace=workspace,
+            )
+            values = _objective_values(
+                objective, scenario.pathset, batch_report, ratios_all,
+                demands_all, caps_all,
+            )
+            for row, allocation in enumerate(allocations):
+                key = chunk[row // num_matrices]
+                results[key][name].add(
+                    satisfied=batch_report.satisfied_fraction[row],
+                    compute_time=allocation.compute_time,
+                    objective_value=float(values[row]),
+                    extras=allocation.extras,
+                )
     return results
 
 
@@ -751,6 +777,7 @@ def run_online_failure_sweep(
     interval_seconds: float,
     failure_cases: dict,
     matrices: list[TrafficMatrix] | None = None,
+    cell_batch: int = 0,
 ) -> dict:
     """Online comparisons across failure scenarios sharing one forward.
 
@@ -770,6 +797,10 @@ def run_online_failure_sweep(
             failed_capacities)``; use ``(None, None)`` for a no-failure
             case.
         matrices: Matrices to replay (default: the test split).
+        cell_batch: Maximum failure cases per stacked ``allocate_batch``
+            invocation — same semantics (and the same bit-identity
+            guarantee) as :func:`run_failure_sweep`'s ``cell_batch``:
+            0 stacks every case, 1 loops per case.
 
     Returns:
         Mapping sweep key -> (mapping scheme name ->
@@ -779,6 +810,7 @@ def run_online_failure_sweep(
         (zero-interval) result per (key, scheme) cell — neither raises.
     """
     from .simulation.online import OnlineRunResult, OnlineSimulator, interval_capacities
+    from .sweep.cellbatch import chunk_level_keys
 
     if matrices is None:
         matrices = scenario.split.test
@@ -794,32 +826,34 @@ def run_online_failure_sweep(
     demands_one = scenario.pathset.demand_volumes_batch(
         np.stack([m.values for m in matrices])
     )
-    demands_all = np.tile(demands_one, (len(keys), 1))
-    caps_all = np.concatenate(
-        [
-            interval_capacities(
-                scenario.capacities, num_intervals, failure_at, failed
-            )
-            for failure_at, failed in failure_cases.values()
-        ]
-    )
-
     results: dict = {key: {} for key in keys}
-    for name, scheme in schemes.items():
-        allocations = _allocate_all(scheme, scenario.pathset, demands_all, caps_all)
-        for index, key in enumerate(keys):
-            failure_at, failed = failure_cases[key]
-            case_slice = allocations[
-                index * num_intervals : (index + 1) * num_intervals
+    for chunk in chunk_level_keys(keys, cell_batch):
+        demands_all = np.tile(demands_one, (len(chunk), 1))
+        caps_all = np.concatenate(
+            [
+                interval_capacities(
+                    scenario.capacities, num_intervals, *failure_cases[key]
+                )
+                for key in chunk
             ]
-            results[key][name] = simulator.run(
-                scheme,
-                matrices,
-                capacities=scenario.capacities,
-                failure_at=failure_at,
-                failed_capacities=failed,
-                allocations=case_slice,
+        )
+        for name, scheme in schemes.items():
+            allocations = _allocate_all(
+                scheme, scenario.pathset, demands_all, caps_all
             )
+            for index, key in enumerate(chunk):
+                failure_at, failed = failure_cases[key]
+                case_slice = allocations[
+                    index * num_intervals : (index + 1) * num_intervals
+                ]
+                results[key][name] = simulator.run(
+                    scheme,
+                    matrices,
+                    capacities=scenario.capacities,
+                    failure_at=failure_at,
+                    failed_capacities=failed,
+                    allocations=case_slice,
+                )
     return results
 
 

@@ -105,6 +105,25 @@ class BatchFlowReport:
         """Per-matrix :class:`FlowReport` views, in batch order."""
         return [self.report(i) for i in range(len(self))]
 
+    def slice(self, start: int, stop: int) -> "BatchFlowReport":
+        """A sub-batch view covering rows ``[start, stop)``.
+
+        The cell-batched sweeps stack several grid cells' matrices into
+        one evaluation pass and unstack per-cell reports with this; the
+        returned report's arrays are views (no copies), identical row
+        for row to evaluating the sub-batch alone.
+        """
+        return BatchFlowReport(
+            delivered_path_flows=self.delivered_path_flows[start:stop],
+            intended_path_flows=self.intended_path_flows[start:stop],
+            edge_loads=self.edge_loads[start:stop],
+            total_demand=self.total_demand[start:stop],
+            delivered_total=self.delivered_total[start:stop],
+            satisfied_fraction=self.satisfied_fraction[start:stop],
+            max_link_utilization=self.max_link_utilization[start:stop],
+            intended_mlu=self.intended_mlu[start:stop],
+        )
+
 
 @dataclass(frozen=True)
 class FlowReport:
@@ -141,6 +160,10 @@ def path_bottleneck_utilization(
     infinite utilization (their traffic is fully dropped); zero-capacity
     links with zero load contribute nothing.
     """
+    # Function-level import: a top-level one would cycle through
+    # repro.core.__init__ -> coma -> lp.objectives -> this module.
+    from ..core.backend import NUMPY_OPS
+
     loads = pathset.edge_loads(intended_flows)
     with np.errstate(divide="ignore", invalid="ignore"):
         util = np.where(
@@ -149,7 +172,7 @@ def path_bottleneck_utilization(
             np.where(loads > 0, _INFINITE_UTILIZATION, 0.0),
         )
     incidence = pathset.edge_path_incidence.tocsc()
-    bottleneck = np.zeros(pathset.num_paths)
+    bottleneck = NUMPY_OPS.zeros(pathset.num_paths)
     for p in range(pathset.num_paths):
         edges = incidence.indices[incidence.indptr[p] : incidence.indptr[p + 1]]
         if edges.size:
@@ -158,18 +181,54 @@ def path_bottleneck_utilization(
 
 
 def _path_max_utilization_batch(
-    pathset: PathSet, util: np.ndarray
+    pathset: PathSet, util: np.ndarray, workspace=None
 ) -> np.ndarray:
     """Per-path bottleneck utilizations (T, P) from per-edge utils (T, E).
 
     One unbuffered scatter-max over the COO expansion covers the whole
     batch: the path axis leads so ``maximum.at`` broadcasts each edge's
-    (T,) utilization column into the path rows it lies on.
+    (T,) utilization column into the path rows it lies on. With a
+    ``workspace`` the (P, T) scatter buffer is reused (zero-filled)
+    across calls instead of reallocated — the buffer is internal to
+    this function, so workspace reuse never aliases returned arrays.
     """
+    # Function-level import: a top-level one would cycle through
+    # repro.core.__init__ -> coma -> lp.objectives -> this module.
+    from ..core.backend import NUMPY_OPS
+
     coo = pathset.edge_path_incidence.tocoo()
-    bottleneck = np.zeros((pathset.num_paths, util.shape[0]))
-    np.maximum.at(bottleneck, coo.col, util.T[coo.row])
+    shape = (pathset.num_paths, util.shape[0])
+    if workspace is None:
+        bottleneck = NUMPY_OPS.zeros(shape)
+    else:
+        bottleneck = workspace.buffer(("evaluator", "bottleneck"), shape, np.float64)
+        bottleneck[...] = 0.0
+    NUMPY_OPS.segment_max_into(bottleneck, coo.col, util.T[coo.row])
+    # A view: the single caller consumes it before its next request, and
+    # the downstream scale/delivered arrays are fresh allocations.
     return bottleneck.T
+
+
+def _row_sums(x: np.ndarray) -> np.ndarray:
+    """Per-row sums of a (T, N) stack, invariant to T and base alignment.
+
+    ``x.sum(axis=-1)`` is *not* reproducible across batch sizes: numpy's
+    2-D last-axis reduction picks SIMD peeling from the allocation's
+    base alignment, so the same row summed inside a (6, N) stack and a
+    (2, N) stack can differ in the last ulp — which would break the
+    cell-batching bit-identity contract (chunked sweeps re-stack the
+    same rows into differently-sized arrays). The 1-D pairwise sum is
+    alignment- and offset-invariant, so summing row by row depends only
+    on row *contents* — and bit-matches the single-matrix evaluator's
+    ``demands.sum()`` by construction. T is a handful of grid rows, so
+    the Python loop is noise next to the kernels it sits between.
+    """
+    from ..core.backend import NUMPY_OPS
+
+    out = NUMPY_OPS.empty((x.shape[0],), x.dtype)
+    for i in range(x.shape[0]):
+        out[i] = x[i].sum()
+    return out
 
 
 def _clip_ratios_batch(split_ratios: np.ndarray) -> np.ndarray:
@@ -221,6 +280,7 @@ def evaluate_allocations_batch(
     split_ratios: np.ndarray,
     demands: np.ndarray,
     capacities: np.ndarray | None = None,
+    workspace=None,
 ) -> BatchFlowReport:
     """Evaluate a stack of allocations against a stack of traffic matrices.
 
@@ -237,6 +297,12 @@ def evaluate_allocations_batch(
         demands: (T, D) demand volumes.
         capacities: (E,) shared capacities, (T, E) per-matrix capacities
             (failure sweeps), or None for the topology defaults.
+        workspace: Optional :class:`~repro.core.batching.Workspace` for
+            the internal scatter-max scratch; sweeps that score many
+            stacks in a row (one per grid cell or chunk) pass a shared
+            per-job workspace so scoring stops re-allocating. Results
+            are unaffected: every returned array is freshly computed,
+            never a workspace view.
 
     Returns:
         A :class:`BatchFlowReport` (empty arrays for T = 0).
@@ -268,7 +334,7 @@ def evaluate_allocations_batch(
             pre_loads / np.maximum(capacities, 1e-300),
             np.where(pre_loads > 0, _INFINITE_UTILIZATION, 0.0),
         )
-    bottleneck = _path_max_utilization_batch(pathset, util)
+    bottleneck = _path_max_utilization_batch(pathset, util, workspace)
     scale = 1.0 / np.maximum(bottleneck, 1.0)
     scale[~np.isfinite(scale)] = 0.0
     delivered = intended * scale
@@ -280,8 +346,8 @@ def evaluate_allocations_batch(
             post_loads / np.maximum(capacities, 1e-300),
             np.where(post_loads > 1e-9, _INFINITE_UTILIZATION, 0.0),
         )
-    total_demand = demands.sum(axis=-1)
-    delivered_total = delivered.sum(axis=-1)
+    total_demand = _row_sums(demands)
+    delivered_total = _row_sums(delivered)
     with np.errstate(divide="ignore", invalid="ignore"):
         satisfied = np.where(
             total_demand > 0,
@@ -292,8 +358,12 @@ def evaluate_allocations_batch(
         max_util = post_util.max(axis=-1)
         intended_mlu = util.max(axis=-1)
     else:
-        max_util = np.zeros(num_matrices)
-        intended_mlu = np.zeros(num_matrices)
+        # Function-level import; top-level would cycle (see
+        # _path_max_utilization_batch).
+        from ..core.backend import NUMPY_OPS
+
+        max_util = NUMPY_OPS.zeros(num_matrices)
+        intended_mlu = NUMPY_OPS.zeros(num_matrices)
     return BatchFlowReport(
         delivered_path_flows=delivered,
         intended_path_flows=intended,

@@ -6,7 +6,9 @@ back a JSON-serializable :class:`GridResult` of per-cell
 :class:`~repro.simulation.metrics.SchemeRun` records. The
 :mod:`~repro.sweep.analytics` layer reduces one-or-many saved results
 into the paper's aggregate curves (speedup vs topology size, satisfied
-demand by failure level, phase-time breakdowns, precision tables).
+demand by failure level, phase-time breakdowns, precision tables). The
+:mod:`~repro.sweep.cellbatch` layer fuses compatible grid cells into
+single stacked kernel invocations (``cell_batch``), bit-identically.
 """
 
 from .analytics import (
@@ -23,6 +25,16 @@ from .analytics import (
     scheme_distributions,
     speedup_curve,
 )
+from .cellbatch import (
+    DEFAULT_CELL_BATCH,
+    ENV_CELL_BATCH,
+    CellBatchPlan,
+    CellBucket,
+    cell_bucket_key,
+    chunk_level_keys,
+    plan_cell_batches,
+    resolve_cell_batch,
+)
 from .grid import (
     EXECUTORS,
     GridCell,
@@ -34,7 +46,11 @@ from .grid import (
 )
 
 __all__ = [
+    "DEFAULT_CELL_BATCH",
+    "ENV_CELL_BATCH",
     "EXECUTORS",
+    "CellBatchPlan",
+    "CellBucket",
     "GridAnalytics",
     "GridCell",
     "GridResult",
@@ -44,10 +60,13 @@ __all__ = [
     "SchemeDistribution",
     "SpeedupPoint",
     "analyze",
+    "cell_bucket_key",
     "cell_seed",
+    "chunk_level_keys",
     "format_analytics",
     "load_grid_results",
     "phase_breakdown",
+    "plan_cell_batches",
     "precision_table",
     "run_scenario_grid",
     "scheme_distributions",

@@ -34,6 +34,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from ..config import TE_INTERVAL_SECONDS, TrainingConfig
 from ..exceptions import ReproError
 from ..simulation.metrics import SchemeRun, format_comparison_table
+from .cellbatch import plan_cell_batches, resolve_cell_batch
 
 #: Executors accepted by :func:`run_scenario_grid`.
 EXECUTORS = ("serial", "thread", "process")
@@ -88,6 +89,13 @@ class ScenarioSuite:
         interval_seconds: TE interval for online mode.
         failure_at: Online mode: interval the failure strikes (None =
             mid-trace).
+        cell_batch: Grid-cell fusion bound (see
+            :mod:`repro.sweep.cellbatch`): 0 stacks every compatible
+            cell of a job into one batched kernel invocation (the
+            default), 1 runs a strict per-cell loop, N > 1 fuses chunks
+            of at most N failure levels. None defers to the
+            ``REPRO_CELL_BATCH`` env then 0 — the same *env < config <
+            CLI* precedence as ``backend``. Every value is bit-identical.
     """
 
     topologies: tuple[str, ...]
@@ -107,6 +115,7 @@ class ScenarioSuite:
     headroom: float = 0.9
     interval_seconds: float = TE_INTERVAL_SECONDS
     failure_at: int | None = None
+    cell_batch: int | None = None
 
     def __post_init__(self) -> None:
         # Accept any sequence for the axes (CLI passes lists).
@@ -132,6 +141,10 @@ class ScenarioSuite:
                 f"unknown backend {self.backend!r}; "
                 "expected 'numpy' or 'torch'"
             )
+        if self.cell_batch is not None:
+            # Validate eagerly so a bad config fails at suite build, not
+            # deep inside a pool worker.
+            resolve_cell_batch(self.cell_batch)
 
     @property
     def num_jobs(self) -> int:
@@ -332,6 +345,7 @@ def _run_topology_job(
     topology: str,
     seed: int,
     cache_dir: str | None = None,
+    cell_batch: int = 0,
 ) -> tuple[list[GridCell], dict]:
     """Build, train, and sweep one (topology, seed) grid job.
 
@@ -340,9 +354,15 @@ def _run_topology_job(
     the harness' persistent tiers: scenarios load from the on-disk
     scenario cache (skipping topology generation, k-shortest-path
     enumeration, and trace synthesis) and Teal models load from the
-    checkpoint cache instead of retraining.
+    checkpoint cache instead of retraining. ``cell_batch`` bounds how
+    many of the job's failure levels fuse into one stacked kernel
+    invocation (see :mod:`repro.sweep.cellbatch`); every value is
+    bit-identical. One evaluation :class:`~repro.core.batching.Workspace`
+    is shared across all of the job's cells and chunks, so scratch
+    buffers are sized once per job instead of churning per cell.
     """
     from .. import harness
+    from ..core.batching import Workspace
     from ..lp.objectives import get_objective
     from ..topology.failures import sample_link_failures
 
@@ -400,9 +420,17 @@ def _run_topology_job(
 
     start = time.perf_counter()
     cells: list[GridCell] = []
+    # Evaluation always runs on numpy arrays regardless of the scheme
+    # backend, so the shared per-job workspace is a numpy one.
+    workspace = Workspace()
     if suite.mode == "offline":
         sweep = harness.run_failure_sweep(
-            scenario, schemes, capacity_sets, objective=objective
+            scenario,
+            schemes,
+            capacity_sets,
+            objective=objective,
+            cell_batch=cell_batch,
+            workspace=workspace,
         )
         for count in suite.failure_counts:
             for name in suite.schemes:
@@ -427,7 +455,11 @@ def _run_topology_job(
             for count in suite.failure_counts
         }
         sweep = harness.run_online_failure_sweep(
-            scenario, schemes, suite.interval_seconds, failure_cases
+            scenario,
+            schemes,
+            suite.interval_seconds,
+            failure_cases,
+            cell_batch=cell_batch,
         )
         for count in suite.failure_counts:
             for name in suite.schemes:
@@ -463,6 +495,7 @@ def run_scenario_grid(
     executor: str = "serial",
     max_workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    cell_batch: int | None = None,
 ) -> GridResult:
     """Run a scenario grid, optionally with concurrent topology workers.
 
@@ -487,6 +520,12 @@ def run_scenario_grid(
             and re-runs — including fresh processes — skip rebuilds and
             retraining. A cache hit reproduces the rebuilt scenario bit
             for bit, so cached grids equal cold grids exactly.
+        cell_batch: Explicit grid-cell fusion bound; overrides the
+            suite's ``cell_batch`` field, which in turn overrides the
+            ``REPRO_CELL_BATCH`` env (default 0 = fully fused). See
+            :mod:`repro.sweep.cellbatch`. Every value reproduces the
+            per-cell loop bit for bit; the knob only trades invocation
+            count against peak stack size.
 
     Returns:
         A :class:`GridResult`.
@@ -499,10 +538,19 @@ def run_scenario_grid(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}"
         )
     cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+    # Precedence: explicit argument (the CLI flag) beats the suite
+    # field, which beats the REPRO_CELL_BATCH env, which beats the
+    # fully-fused default — the --backend/--precision pattern.
+    spec = cell_batch if cell_batch is not None else suite.cell_batch
+    resolved_cell_batch = resolve_cell_batch(spec)
+    plan = plan_cell_batches(suite, resolved_cell_batch)
     jobs = suite.jobs()
     start = time.perf_counter()
     if executor == "serial":
-        outputs = [_run_topology_job(suite, t, s, cache_dir) for t, s in jobs]
+        outputs = [
+            _run_topology_job(suite, t, s, cache_dir, resolved_cell_batch)
+            for t, s in jobs
+        ]
         workers = 1
     else:
         pool_cls = (
@@ -511,7 +559,10 @@ def run_scenario_grid(
         workers = max_workers or min(len(jobs), os.cpu_count() or 1)
         with pool_cls(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_topology_job, suite, t, s, cache_dir)
+                pool.submit(
+                    _run_topology_job, suite, t, s, cache_dir,
+                    resolved_cell_batch,
+                )
                 for t, s in jobs
             ]
             outputs = [future.result() for future in futures]
@@ -525,6 +576,11 @@ def run_scenario_grid(
         "num_jobs": len(jobs),
         "num_cells": len(cells),
         "total_seconds": total_seconds,
+        "cell_batch": resolved_cell_batch,
+        "cell_batching": {
+            "num_buckets": len(plan.buckets),
+            "num_invocations": plan.num_invocations,
+        },
     }
     return GridResult(suite=suite, cells=cells, timings=timings, metadata=metadata)
 

@@ -281,6 +281,72 @@ class TestWorkspaceDeviceKeying:
 
 
 # ----------------------------------------------------------------------
+# Workspace growth backing (cell-batched sweeps resize per chunk)
+# ----------------------------------------------------------------------
+class TestWorkspaceGrowthBacking:
+    def test_same_shape_rerequest_is_identity(self):
+        ws = Workspace()
+        a = ws.buffer("scratch", (3, 5), np.float64)
+        assert ws.buffer("scratch", (3, 5), np.float64) is a
+
+    def test_shrink_reuses_backing(self):
+        """A ragged tail chunk must not reallocate the big chunk's buffer."""
+        ws = Workspace()
+        big = ws.buffer("scratch", (6, 8), np.float64)
+        small = ws.buffer("scratch", (2, 8), np.float64)
+        assert small.shape == (2, 8)
+        assert np.shares_memory(big, small)
+        bytes_after_shrink = ws.total_bytes
+        # Growing back within capacity reuses the same backing too.
+        again = ws.buffer("scratch", (6, 8), np.float64)
+        assert np.shares_memory(big, again)
+        assert ws.total_bytes == bytes_after_shrink
+
+    def test_growth_reallocates(self):
+        ws = Workspace()
+        small = ws.buffer("scratch", (2, 8), np.float64)
+        before = ws.total_bytes
+        big = ws.buffer("scratch", (6, 8), np.float64)
+        assert big.shape == (6, 8)
+        assert not np.shares_memory(small, big)
+        assert ws.total_bytes > before
+
+    def test_dtype_switch_reallocates(self):
+        ws = Workspace()
+        f64 = ws.buffer("scratch", (4, 4), np.float64)
+        f32 = ws.buffer("scratch", (4, 4), np.float32)
+        assert f32.dtype == np.float32
+        assert not np.shares_memory(f64, f32)
+
+    def test_total_bytes_tracks_backing_capacity(self):
+        ws = Workspace()
+        ws.buffer("scratch", (6, 8), np.float64)
+        assert ws.total_bytes == 6 * 8 * 8
+        ws.buffer("scratch", (2, 8), np.float64)  # shrink: capacity kept
+        assert ws.total_bytes == 6 * 8 * 8
+        ws.clear()
+        assert ws.total_bytes == 0
+
+    def test_sanitizer_poisons_every_shape_transition(self, monkeypatch):
+        """Unwritten scratch must trip NaN checks even on a reused backing."""
+        from repro.core import batching
+
+        monkeypatch.setattr(batching, "_SANITIZE", True)
+        ws = Workspace()
+        big = ws.buffer("scratch", (6, 8), np.float64)
+        assert np.isnan(big).all()
+        big[...] = 1.0
+        # Shrinking serves a view of the written backing: without
+        # re-poisoning, stale finite values would mask missing writes.
+        small = ws.buffer("scratch", (2, 8), np.float64)
+        assert np.isnan(small).all()
+        small[...] = 2.0
+        # Same shape and dtype: the served buffer is returned as-is so
+        # chunk loops keep their contents between kernel calls.
+        assert not np.isnan(ws.buffer("scratch", (2, 8), np.float64)).any()
+
+
+# ----------------------------------------------------------------------
 # Torch parity (tolerance bar, skipped without torch)
 # ----------------------------------------------------------------------
 class TestTorchParity:

@@ -55,6 +55,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([command, "--backend", "cupy"])
 
+    def test_cell_batch_flag(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.cell_batch is None  # defer to REPRO_CELL_BATCH, then 0
+        args = build_parser().parse_args(["sweep", "--cell-batch", "0"])
+        assert args.cell_batch == 0
+        args = build_parser().parse_args(["sweep", "--cell-batch", "4"])
+        assert args.cell_batch == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--cell-batch", "many"])
+
+    def test_cell_batch_is_sweep_only(self):
+        for command in ("compare", "failures", "train", "stream"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--cell-batch", "2"])
+
     def test_cache_prune_arguments(self):
         args = build_parser().parse_args(
             [

@@ -15,9 +15,14 @@ from repro.harness import (
 )
 from repro.lp.objectives import get_objective
 from repro.sweep import (
+    ENV_CELL_BATCH,
     GridResult,
     ScenarioSuite,
+    cell_bucket_key,
     cell_seed,
+    chunk_level_keys,
+    plan_cell_batches,
+    resolve_cell_batch,
     run_scenario_grid,
     single_topology,
 )
@@ -247,6 +252,182 @@ class TestOnlineGrid:
         nominal = result.cell("B4", 0, 0, "LP-all").run.mean_satisfied
         failed = result.cell("B4", 0, 1, "LP-all").run.mean_satisfied
         assert failed <= nominal + 1e-9
+
+
+class TestResolveCellBatch:
+    def test_default_is_fully_fused(self, monkeypatch):
+        monkeypatch.delenv(ENV_CELL_BATCH, raising=False)
+        assert resolve_cell_batch(None) == 0
+
+    def test_env_consulted_when_unset(self, monkeypatch):
+        monkeypatch.setenv(ENV_CELL_BATCH, "3")
+        assert resolve_cell_batch(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_CELL_BATCH, "3")
+        assert resolve_cell_batch(1) == 1
+        assert resolve_cell_batch(0) == 0
+
+    def test_string_specs_accepted(self):
+        assert resolve_cell_batch("4") == 4
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ReproError):
+            resolve_cell_batch(-1)
+        with pytest.raises(ReproError):
+            resolve_cell_batch("many")
+        monkeypatch.setenv(ENV_CELL_BATCH, "-2")
+        with pytest.raises(ReproError):
+            resolve_cell_batch(None)
+
+    def test_suite_validates_cell_batch(self):
+        assert tiny_suite(cell_batch=2).cell_batch == 2
+        with pytest.raises(ReproError):
+            tiny_suite(cell_batch=-1)
+
+
+class TestChunkLevelKeys:
+    def test_zero_fuses_everything(self):
+        assert chunk_level_keys([0, 1, 2], 0) == [[0, 1, 2]]
+
+    def test_one_is_the_per_cell_loop(self):
+        assert chunk_level_keys([0, 1, 2], 1) == [[0], [1], [2]]
+
+    def test_uneven_tail_chunk(self):
+        assert chunk_level_keys([0, 1, 2, 3, 4], 2) == [[0, 1], [2, 3], [4]]
+
+    def test_bound_at_least_length_fuses(self):
+        assert chunk_level_keys([0, 1], 5) == [[0, 1]]
+
+    def test_empty_keys(self):
+        assert chunk_level_keys([], 0) == []
+        assert chunk_level_keys([], 2) == []
+
+    def test_order_preserved(self):
+        chunks = chunk_level_keys([3, 0, 2], 2)
+        assert [key for chunk in chunks for key in chunk] == [3, 0, 2]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            chunk_level_keys([0, 1], -1)
+
+
+class TestCellBucketKey:
+    def test_failure_and_seed_variants_share_a_bucket(self):
+        suite = tiny_suite(failure_counts=(0, 1, 2), seeds=(0, 1))
+        plan = plan_cell_batches(suite, 0)
+        # One bucket per scheme: every (seed, failure) cell of a
+        # (topology, scheme) pair is compatible work.
+        assert len(plan.buckets) == len(suite.schemes)
+        for bucket in plan.buckets:
+            assert len(bucket.cells) == len(suite.seeds) * len(
+                suite.failure_counts
+            )
+
+    def test_topology_precision_scheme_split_buckets(self):
+        base = tiny_suite(topologies=("B4", "SWAN"))
+        keys = {
+            cell_bucket_key(base, topology, scheme)
+            for topology in base.topologies
+            for scheme in base.schemes
+        }
+        assert len(keys) == 4  # 2 topologies x 2 schemes, no sharing
+        f32 = cell_bucket_key(base, "B4", "Teal")
+        f64 = cell_bucket_key(
+            tiny_suite(topologies=("B4", "SWAN"), precision="float64"),
+            "B4",
+            "Teal",
+        )
+        assert f32 != f64
+        torch_key = cell_bucket_key(
+            tiny_suite(topologies=("B4", "SWAN"), backend="torch"),
+            "B4",
+            "Teal",
+        )
+        assert torch_key != f32
+
+    def test_plan_counts_and_chunks(self):
+        suite = tiny_suite(
+            topologies=("B4", "SWAN"),
+            failure_counts=(0, 1, 2),
+            seeds=(0, 1),
+            cell_batch=2,
+        )
+        plan = plan_cell_batches(suite)
+        assert plan.cell_batch == 2
+        assert plan.num_cells == suite.num_cells
+        # Per bucket: 2 seed jobs x ceil(3 levels / 2) = 4 invocations.
+        assert plan.num_invocations == len(plan.buckets) * 4
+        for bucket in plan.buckets:
+            for chunk in bucket.chunks:
+                assert len(chunk) <= 2
+                # A chunk never mixes jobs: one (topology, seed) each.
+                assert len({cell[:2] for cell in chunk}) == 1
+        record = plan.to_dict()
+        assert record["cell_batch"] == 2
+        assert record["num_invocations"] == plan.num_invocations
+
+    def test_fused_plan_has_one_invocation_per_job_scheme(self):
+        suite = tiny_suite(failure_counts=(0, 1, 2), seeds=(0, 1))
+        plan = plan_cell_batches(suite, 0)
+        assert plan.num_invocations == suite.num_jobs * len(suite.schemes)
+
+
+class TestCellBatchedGrid:
+    """Batched execution must equal the per-cell loop bit for bit."""
+
+    @pytest.fixture(scope="class", params=("float32", "float64"))
+    def suite(self, request) -> ScenarioSuite:
+        return tiny_suite(
+            topologies=("B4", "SWAN"),
+            failure_counts=(0, 1, 2),
+            precision=request.param,
+        )
+
+    @pytest.fixture(scope="class")
+    def fused(self, suite) -> GridResult:
+        # cell_batch unset: resolves to 0, the fully-fused stack.
+        return run_scenario_grid(suite)
+
+    def test_fused_metadata(self, fused):
+        assert fused.metadata["cell_batch"] == 0
+        assert fused.metadata["cell_batching"]["num_buckets"] == 4
+        # One stacked invocation per (job, scheme) when fully fused.
+        assert fused.metadata["cell_batching"]["num_invocations"] == 4
+
+    def test_per_cell_loop_matches_fused(self, suite, fused):
+        looped = run_scenario_grid(suite, cell_batch=1)
+        assert looped.metadata["cell_batch"] == 1
+        assert comparable(looped) == comparable(fused)
+
+    def test_uneven_chunks_match_fused(self, suite, fused):
+        # 3 failure levels in chunks of 2: one full + one ragged chunk.
+        chunked = run_scenario_grid(suite, cell_batch=2)
+        assert comparable(chunked) == comparable(fused)
+
+    def test_argument_overrides_suite_field(self, suite, fused):
+        pinned = ScenarioSuite.from_dict({**suite.to_dict(), "cell_batch": 1})
+        overridden = run_scenario_grid(pinned, cell_batch=2)
+        assert overridden.metadata["cell_batch"] == 2
+        assert comparable(overridden) == comparable(fused)
+
+    def test_env_overridden_by_suite_field(self, suite, fused, monkeypatch):
+        monkeypatch.setenv(ENV_CELL_BATCH, "many")  # would raise if read
+        pinned = ScenarioSuite.from_dict({**suite.to_dict(), "cell_batch": 1})
+        result = run_scenario_grid(pinned)
+        assert result.metadata["cell_batch"] == 1
+        assert comparable(result) == comparable(fused)
+
+
+class TestOnlineCellBatchedGrid:
+    def test_online_chunks_match_fused(self):
+        suite = tiny_suite(
+            failure_counts=(0, 1, 2), mode="online", test=3, failure_at=1
+        )
+        fused = run_scenario_grid(suite)
+        for cell_batch in (1, 2):
+            chunked = run_scenario_grid(suite, cell_batch=cell_batch)
+            assert comparable(chunked) == comparable(fused)
 
 
 class TestGridResultJson:
