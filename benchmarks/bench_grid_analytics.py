@@ -20,6 +20,13 @@ the new persistent scenario cache while doing it:
    ``repro.cli analyze`` entry point (speedup curve, distributions,
    phase breakdown, precision table) and the record — including the
    cold/warm cache timings — lands in ``BENCH_analytics.json``.
+5. **Interrupted + resumed grid**: the float32 grid re-runs into a fresh
+   checkpoint directory capped at half its cells (``max_cells``), then
+   resumes (``resume=True``). The merged result must equal the full run
+   bit for bit — the resumable-grid contract at benchmark scale.
+6. **Paper figures**: the analytics render through ``repro.cli plot``
+   into the Figure 4-5 / 7 / 8-9 SVG set (the no-matplotlib fallback
+   path in this environment).
 
 Run standalone::
 
@@ -130,6 +137,40 @@ def run_benchmark() -> dict:
             else analyze([warm, result64])
         )
 
+        # Interrupt-and-resume at benchmark scale: cap the grid at half
+        # its cells in a fresh checkpoint dir, then resume the rest.
+        # (A fresh dir, so resume really loads checkpoints written by
+        # the "interrupted" run rather than finding a complete cache.)
+        resume_dir = os.path.join(workdir, "resume_cache")
+        suite32 = make_suite("float32")
+        half = cold.metadata["num_cells"] // 2
+        partial = run_scenario_grid(
+            suite32, cache_dir=resume_dir, max_cells=half
+        )
+        resumed = run_scenario_grid(
+            suite32, cache_dir=resume_dir, resume=True
+        )
+        resume_record = {
+            "interrupted_at_cells": half,
+            "partial_seconds": round(partial.metadata["total_seconds"], 6),
+            "resume_seconds": round(resumed.metadata["total_seconds"], 6),
+            "loaded_cells": resumed.metadata["checkpointing"]["loaded_cells"],
+            "executed_jobs": resumed.metadata["checkpointing"][
+                "executed_jobs"
+            ],
+            "resumed_matches_full": _comparable(resumed) == _comparable(warm),
+        }
+
+        # Render the paper-figure set through the real CLI entry point.
+        figures_dir = os.path.join(workdir, "figures")
+        plot_exit = cli.main(
+            ["plot", grid32_path, grid64_path, "--output-dir", figures_dir]
+        )
+        figures = {
+            name: os.path.getsize(os.path.join(figures_dir, name))
+            for name in sorted(os.listdir(figures_dir))
+        } if plot_exit == 0 else {}
+
         cold_phases = _phase_totals(cold)
         warm_phases = _phase_totals(warm)
         record = {
@@ -162,7 +203,10 @@ def run_benchmark() -> dict:
                 ),
                 "warm_matches_cold": warm_matches_cold,
             },
+            "resume": resume_record,
             "cli_analyze_exit": cli_exit,
+            "cli_plot_exit": plot_exit,
+            "figures_bytes": figures,
             "speedup_curve": [p.to_dict() for p in analytics.curve],
             "precision_table": [p.to_dict() for p in analytics.precision],
             "distributions": [d.to_dict() for d in analytics.distributions],
@@ -189,6 +233,12 @@ def test_grid_analytics_benchmark():
     assert cache["warm_build_seconds"] < cache["cold_build_seconds"]
     assert cache["warm_train_seconds"] < cache["cold_train_seconds"]
     assert record["cli_analyze_exit"] == 0
+    resume = record["resume"]
+    assert resume["resumed_matches_full"], "resumed grid diverged from full run"
+    assert resume["loaded_cells"] == resume["interrupted_at_cells"]
+    assert record["cli_plot_exit"] == 0
+    assert len(record["figures_bytes"]) == 3
+    assert all(size > 0 for size in record["figures_bytes"].values())
     curve32 = [
         p for p in record["speedup_curve"] if p["precision"] == "float32"
     ]

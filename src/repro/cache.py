@@ -1,9 +1,11 @@
-"""Size-bounded pruning for the persistent scenario/model caches.
+"""Maintenance for the persistent cache directory: pruning + versioning.
 
 The harness's on-disk tier (:func:`repro.harness.build_scenario` and
 :func:`repro.harness.trained_teal` with ``cache_dir=``) grows without
 bound: every distinct scenario or training configuration adds an
-``.npz`` entry that is never deleted. This module adds the bound —
+``.npz`` entry that is never deleted, and the grid engine adds
+``gridcell-``/``gridmanifest-`` JSON checkpoints (see
+:mod:`repro.sweep.checkpoint`). This module adds the bound —
 least-recently-used eviction down to a byte budget — without touching
 the cache formats themselves.
 
@@ -12,10 +14,23 @@ Recency is tracked through file mtimes: the harness calls
 time it was either written or read. :func:`prune_cache_dir` then sorts
 by mtime and removes the oldest entries until the directory fits the
 budget. Exposed on the command line as ``repro.cli cache prune``.
+
+Every cache format stamps its entries with a schema version; readers
+treat a mismatch as a miss and rebuild rather than deserializing a
+stale layout from a long-lived cache directory. :func:`stale_entries`
+finds entries whose stamp no longer matches the library's current
+version (``repro.cli cache prune`` reports them and ``--evict-stale``
+removes them).
+
+:func:`atomic_write_text` / :func:`atomic_write_json` are the shared
+write-to-temp-then-:func:`os.replace` helpers every JSON artifact in
+the repo goes through, so an interrupted writer can never leave a
+truncated file where a reader expects a complete one.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -24,7 +39,17 @@ from .exceptions import ReproError
 
 #: Filename prefixes of cache entries this module manages. Anything
 #: else in the directory (user files, other artifacts) is left alone.
-CACHE_PREFIXES = ("scenario-", "teal-")
+CACHE_PREFIXES = ("scenario-", "teal-", "gridcell-", "gridmanifest-")
+
+#: (prefix, suffix) glob pairs of the managed entry kinds: ``.npz``
+#: archives for scenarios and model checkpoints, ``.json`` documents
+#: for grid cell checkpoints and grid manifests.
+CACHE_PATTERNS = (
+    ("scenario-", ".npz"),
+    ("teal-", ".npz"),
+    ("gridcell-", ".json"),
+    ("gridmanifest-", ".json"),
+)
 
 _SIZE_SUFFIXES = {
     "K": 1024,
@@ -83,17 +108,45 @@ def touch(path: str | Path) -> None:
         pass
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + :func:`os.replace`).
+
+    The temp file lives in the destination directory so the final
+    rename never crosses filesystems. An interrupted write leaves the
+    previous file (if any) untouched and no temp residue behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
+    return path
+
+
+def atomic_write_json(path: str | Path, payload: object) -> Path:
+    """Serialize ``payload`` fully in memory, then atomically write it.
+
+    Serializing before opening the destination means even a crash
+    inside ``json`` encoding cannot produce a half-written document.
+    """
+    return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
 def cache_entries(cache_dir: str | Path) -> list[CacheEntry]:
     """Prunable entries of a cache directory, least recently used first.
 
-    Only files matching :data:`CACHE_PREFIXES` with the ``.npz`` suffix
-    are considered. Files that vanish mid-scan are skipped. Ties on
-    mtime break by name so the ordering is deterministic.
+    Only files matching :data:`CACHE_PATTERNS` are considered. Files
+    that vanish mid-scan are skipped. Ties on mtime break by name so
+    the ordering is deterministic.
     """
     cache_dir = Path(cache_dir)
     entries = []
-    for prefix in CACHE_PREFIXES:
-        for path in cache_dir.glob(f"{prefix}*.npz"):
+    for prefix, suffix in CACHE_PATTERNS:
+        for path in cache_dir.glob(f"{prefix}*{suffix}"):
             try:
                 stat = path.stat()
             except OSError:  # pragma: no cover - raced with cleanup
@@ -138,3 +191,61 @@ def prune_cache_dir(
         removed.append(entry.path)
         total -= entry.bytes
     return removed
+
+
+def expected_schema_version(path: str | Path) -> int:
+    """The schema version the current library stamps into entries like ``path``."""
+    name = Path(path).name
+    if name.startswith("scenario-"):
+        from .harness import SCENARIO_CACHE_FORMAT
+
+        return SCENARIO_CACHE_FORMAT
+    if name.startswith("teal-"):
+        from .core.checkpoint import CHECKPOINT_FORMAT
+
+        return CHECKPOINT_FORMAT
+    from .sweep.checkpoint import GRID_CHECKPOINT_VERSION
+
+    return GRID_CHECKPOINT_VERSION
+
+
+def entry_schema_version(path: str | Path) -> int | None:
+    """Schema version stamped in a cache entry.
+
+    Unstamped entries (written before versioning landed) report ``0``;
+    unreadable or corrupt entries report ``None``. Either way they
+    compare unequal to :func:`expected_schema_version`, so readers and
+    the prune report treat them as stale.
+    """
+    path = Path(path)
+    try:
+        if path.name.endswith(".json"):
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                return None
+            return int(payload.get("version", 0))
+        import numpy as np
+
+        with np.load(path, allow_pickle=False) as archive:
+            if path.name.startswith("scenario-"):
+                meta = json.loads(str(archive["meta"][()]))
+                return int(meta.get("format", 0))
+            if "meta_format" in archive.files:
+                return int(archive["meta_format"][()])
+            return 0
+    except Exception:
+        return None
+
+
+def stale_entries(cache_dir: str | Path) -> list[CacheEntry]:
+    """Cache entries whose schema-version stamp mismatches the library's.
+
+    These are exactly the entries every reader already treats as a
+    miss; evicting them (``repro.cli cache prune --evict-stale``) just
+    reclaims the dead bytes early.
+    """
+    return [
+        entry
+        for entry in cache_entries(cache_dir)
+        if entry_schema_version(entry.path) != expected_schema_version(entry.path)
+    ]

@@ -9,8 +9,14 @@ Usage (installed as ``teal-repro`` or via ``python -m repro.cli``):
     teal-repro sweep --topologies B4 SWAN # cross-topology scenario grid
     teal-repro stream --topology B4       # event-driven streaming online TE
     teal-repro analyze grid1.json grid2.json  # aggregate grid analytics
+    teal-repro plot grid1.json -o figures # paper-style figures (SVG/PNG)
     teal-repro lint                       # RL001-RL004 static analysis
     teal-repro cache prune --cache-dir .cache --max-bytes 500M  # LRU evict
+    teal-repro cache prune --cache-dir .cache --evict-stale  # drop old schemas
+
+Interrupted sweeps resume: ``sweep --cache-dir .cache`` checkpoints every
+completed grid cell, and re-running with ``--resume`` loads the completed
+cells and executes only the remainder (bit-identical results).
 """
 
 from __future__ import annotations
@@ -126,6 +132,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .config import TrainingConfig
+    from .exceptions import ReproError
     from .sweep import ScenarioSuite, run_scenario_grid
 
     training = TrainingConfig(
@@ -151,12 +158,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"sweeping {suite.num_jobs} topology job(s), "
         f"{suite.num_cells} grid cell(s) [{args.executor}]..."
     )
-    result = run_scenario_grid(
-        suite,
-        executor=args.executor,
-        max_workers=args.workers,
-        cache_dir=args.cache_dir,
-    )
+    try:
+        result = run_scenario_grid(
+            suite,
+            executor=args.executor,
+            max_workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            max_cells=args.max_cells,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print(result.summary_table())
     print(
         f"\nswept {result.metadata['num_cells']} cells in "
@@ -164,6 +177,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({result.metadata['executor']}, "
         f"{result.metadata['max_workers']} worker(s))"
     )
+    checkpointing = result.metadata.get("checkpointing", {})
+    if checkpointing.get("enabled"):
+        print(
+            f"checkpointed under suite {checkpointing['suite_token']}: "
+            f"{checkpointing['loaded_cells']} cell(s) resumed from cache, "
+            f"{checkpointing['executed_jobs']} job(s) executed"
+        )
     if args.output:
         result.to_json(args.output)
         print(f"wrote {args.output}")
@@ -288,6 +308,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from .exceptions import ReproError
+    from .sweep.analytics import analyze, load_grid_results
+    from .sweep.plotting import render_figures
+
+    formats = ("svg", "png") if args.format == "both" else (args.format,)
+    try:
+        results = load_grid_results(args.inputs)
+        analytics = analyze(
+            results,
+            baseline=args.baseline,
+            accelerated=args.accelerated,
+            sources=args.inputs,
+        )
+        written = render_figures(
+            results,
+            analytics,
+            args.output_dir,
+            prefix=args.prefix,
+            formats=formats,
+            failure_count=args.cdf_failures,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .exceptions import ReproError
     from .lint.baseline import (
@@ -326,28 +379,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_prune(args: argparse.Namespace) -> int:
-    from .cache import cache_entries, parse_size, prune_cache_dir
+    from .cache import (
+        cache_entries,
+        parse_size,
+        prune_cache_dir,
+        stale_entries,
+    )
     from .exceptions import ReproError
 
-    try:
-        budget = parse_size(args.max_bytes)
-        removed = prune_cache_dir(
-            args.cache_dir, budget, dry_run=args.dry_run
+    if args.max_bytes is None and not args.evict_stale:
+        print(
+            "error: nothing to do; pass --max-bytes and/or --evict-stale",
+            file=sys.stderr,
         )
+        return 2
+    verb = "would remove" if args.dry_run else "removed"
+    removed = []
+    try:
+        stale = stale_entries(args.cache_dir)
+        if args.evict_stale:
+            for entry in stale:
+                if not args.dry_run:
+                    entry.path.unlink(missing_ok=True)
+                removed.append(entry.path)
+                print(f"{verb} {entry.path} (stale schema)")
+        elif stale:
+            noun = (
+                "1 entry has a stale schema version"
+                if len(stale) == 1
+                else f"{len(stale)} entries have stale schema versions"
+            )
+            print(f"{noun}; re-run with --evict-stale to drop them")
+        budget = None
+        if args.max_bytes is not None:
+            budget = parse_size(args.max_bytes)
+            pruned = prune_cache_dir(
+                args.cache_dir, budget, dry_run=args.dry_run
+            )
+            for path in pruned:
+                if path not in set(removed):
+                    removed.append(path)
+                    print(f"{verb} {path}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    verb = "would remove" if args.dry_run else "removed"
-    for path in removed:
-        print(f"{verb} {path}")
     kept = cache_entries(args.cache_dir)
     if args.dry_run:
         kept = [e for e in kept if e.path not in set(removed)]
     total = sum(e.bytes for e in kept)
+    budget_text = (
+        "no byte budget"
+        if budget is None
+        else f"budget {budget / 1024**2:.1f} MiB"
+    )
     print(
         f"{verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}; "
-        f"{len(kept)} kept ({total / 1024**2:.1f} MiB / "
-        f"budget {budget / 1024**2:.1f} MiB)"
+        f"{len(kept)} kept ({total / 1024**2:.1f} MiB / {budget_text})"
     )
     return 0
 
@@ -461,6 +548,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the REPRO_CELL_BATCH env var, then 0 — see README "
         "'Grid cell batching')",
     )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="load completed grid cells checkpointed under --cache-dir by "
+        "an earlier (possibly interrupted) run of the same suite and "
+        "execute only the remainder; the merged result is bit-identical "
+        "to an uninterrupted run (requires --cache-dir)",
+    )
+    p_sweep.add_argument(
+        "--max-cells", type=int, default=None,
+        help="stop after checkpointing this many grid cells (simulates "
+        "an interruption; mainly for testing --resume)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_stream = sub.add_parser(
@@ -535,6 +634,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 
+    p_plot = sub.add_parser(
+        "plot",
+        help="render GridResult JSONs into paper-style figures: speedup "
+        "vs topology size (Figs 4-5), satisfied-demand CDFs (Fig 7), "
+        "and failure robustness (Figs 8-9); SVG needs no third-party "
+        "dependency, PNG uses matplotlib when installed",
+    )
+    p_plot.add_argument(
+        "inputs", nargs="+", help="GridResult JSON files (from sweep --output)"
+    )
+    p_plot.add_argument(
+        "--baseline", default=None,
+        help="baseline scheme for the speedup figure "
+        "(default: the suites' first non-accelerated scheme)",
+    )
+    p_plot.add_argument(
+        "--accelerated", default="Teal",
+        help="accelerated scheme for the speedup figure (default Teal)",
+    )
+    p_plot.add_argument(
+        "--output-dir", "-o", default="figures",
+        help="directory the figures are written into (default: figures)",
+    )
+    p_plot.add_argument(
+        "--prefix", default="grid",
+        help="figure filename prefix (default: grid)",
+    )
+    p_plot.add_argument(
+        "--format", choices=("svg", "png", "both"), default="svg",
+        help="output format(s); png falls back to the built-in SVG "
+        "renderer when matplotlib is not installed (default: svg)",
+    )
+    p_plot.add_argument(
+        "--cdf-failures", type=int, default=None,
+        help="restrict the satisfied-demand CDF to one failure level "
+        "(default: pool all levels)",
+    )
+    p_plot.set_defaults(func=_cmd_plot)
+
     p_lint = sub.add_parser(
         "lint",
         help="invariant-checking static analysis (dtype policy, kernel "
@@ -574,16 +712,22 @@ def build_parser() -> argparse.ArgumentParser:
         "prune",
         help="evict least-recently-used cache entries down to a byte "
         "budget (entries are touched on every disk hit, so recency "
-        "reflects reads as well as writes)",
+        "reflects reads as well as writes), and report or evict "
+        "entries whose on-disk schema version is stale",
     )
     p_prune.add_argument(
         "--cache-dir", required=True,
         help="the directory passed to sweep --cache-dir",
     )
     p_prune.add_argument(
-        "--max-bytes", required=True,
+        "--max-bytes", default=None,
         help="byte budget after pruning, e.g. 500M, 2G, or a plain "
         "byte count (0 empties the cache)",
+    )
+    p_prune.add_argument(
+        "--evict-stale", action="store_true",
+        help="also remove entries stamped with a schema version this "
+        "library no longer reads (they would be cache misses anyway)",
     )
     p_prune.add_argument(
         "--dry-run", action="store_true",

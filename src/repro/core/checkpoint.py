@@ -28,6 +28,13 @@ import numpy as np
 from ..exceptions import ModelError
 from .model import AllocatorModel, TealModel
 
+#: Checkpoint schema version; bump on layout changes so entries written
+#: by an older library version load as an explicit :class:`ModelError`
+#: (a cache miss for :func:`repro.harness.trained_teal`) instead of
+#: deserializing a stale layout. Checkpoints from before versioning
+#: landed carry no stamp and count as version 0.
+CHECKPOINT_FORMAT = 1
+
 
 def _fingerprint(model: TealModel) -> dict[str, int]:
     """Architecture descriptors that must match between checkpoints."""
@@ -56,6 +63,7 @@ def save_model(model: TealModel, path: str | Path) -> Path:
     payload: dict[str, np.ndarray] = {
         f"param_{i}": p.data for i, p in enumerate(params)
     }
+    payload["meta_format"] = np.array(CHECKPOINT_FORMAT)
     for key, value in _fingerprint(model).items():
         payload[f"meta_{key}"] = np.array(value)
     # Parameter dtype travels with the checkpoint: loading float32
@@ -79,12 +87,18 @@ def load_model(model: TealModel, path: str | Path) -> TealModel:
     that is the point of topology-agnostic weights. The checkpoint's
     parameter dtype must match the model's: a float32-trained checkpoint
     no longer loads silently into a float64 model (cast the model with
-    ``model.astype(...)`` first if the mix is intentional). Legacy
-    checkpoints without dtype metadata are assumed float64.
+    ``model.astype(...)`` first if the mix is intentional). Checkpoints
+    without dtype metadata are assumed float64.
+
+    Checkpoints also carry a schema-version stamp
+    (:data:`CHECKPOINT_FORMAT`); a mismatch — including pre-versioning
+    entries with no stamp — raises :class:`ModelError` so cache tiers
+    treat the entry as a miss and retrain instead of deserializing a
+    stale layout.
 
     Raises:
-        ModelError: On architecture, dtype mismatch or corrupt
-            checkpoints.
+        ModelError: On schema-version, architecture, or dtype
+            mismatches, and on corrupt checkpoints.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -94,6 +108,15 @@ def load_model(model: TealModel, path: str | Path) -> TealModel:
     except (zipfile.BadZipFile, ValueError, EOFError) as error:
         raise ModelError(f"corrupt checkpoint {path}: {error}") from error
     with handle as data:
+        stored_format = (
+            int(data["meta_format"]) if "meta_format" in data.files else 0
+        )
+        if stored_format != CHECKPOINT_FORMAT:
+            raise ModelError(
+                f"checkpoint {path} has schema version {stored_format}, "
+                f"this library writes version {CHECKPOINT_FORMAT}; "
+                "the entry is stale — retrain (or re-save) to refresh it"
+            )
         expected = _fingerprint(model)
         for key in ("num_gnn_layers", "max_paths", "embedding_dim"):
             stored = int(data[f"meta_{key}"])

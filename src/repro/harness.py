@@ -32,7 +32,7 @@ from .config import POP_REPLICAS, AdmmConfig, TrainingConfig
 from .core import TealScheme
 from .core.backend import Backend, resolve_backend
 from .core.checkpoint import load_model, save_model
-from .exceptions import ReproError
+from .exceptions import ModelError, ReproError
 from .lp.objectives import Objective, TotalFlowObjective, get_objective
 from .nn.precision import DEFAULT_INFERENCE_PRECISION, Precision, resolve_precision
 from .paths.pathset import PathSet
@@ -545,11 +545,24 @@ def trained_teal(
     )
     # use_cache=False means "do not reuse" for the disk tier too: train
     # fresh and overwrite the stored entry instead of loading it.
+    loaded = False
     if use_cache and checkpoint is not None and checkpoint.exists():
-        load_model(teal.model, checkpoint)
-        touch(checkpoint)  # LRU recency for ``repro.cli cache prune``
-        teal.trained = True
-    else:
+        try:
+            load_model(teal.model, checkpoint)
+        except ModelError as error:
+            # Stale schema version, foreign/corrupt file, or a config
+            # drift the fingerprint caught: a cache miss, not a crash.
+            warnings.warn(
+                f"model checkpoint {checkpoint} is unusable ({error}); "
+                "retraining",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            touch(checkpoint)  # LRU recency for ``repro.cli cache prune``
+            teal.trained = True
+            loaded = True
+    if not loaded:
         teal.train(scenario.split.train, config=config)
         if checkpoint is not None:
             checkpoint.parent.mkdir(parents=True, exist_ok=True)

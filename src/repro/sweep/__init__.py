@@ -9,6 +9,11 @@ into the paper's aggregate curves (speedup vs topology size, satisfied
 demand by failure level, phase-time breakdowns, precision tables). The
 :mod:`~repro.sweep.cellbatch` layer fuses compatible grid cells into
 single stacked kernel invocations (``cell_batch``), bit-identically.
+The :mod:`~repro.sweep.checkpoint` layer persists completed cells into
+the cache dir so interrupted grids resume (``resume=True`` /
+``repro.cli sweep --resume``) bit-identically, and the
+:mod:`~repro.sweep.plotting` layer renders analytics into the paper's
+figures (``repro.cli plot``).
 """
 
 from .analytics import (
@@ -22,6 +27,7 @@ from .analytics import (
     load_grid_results,
     phase_breakdown,
     precision_table,
+    satisfied_samples,
     scheme_distributions,
     speedup_curve,
 )
@@ -35,6 +41,17 @@ from .cellbatch import (
     plan_cell_batches,
     resolve_cell_batch,
 )
+from .checkpoint import (
+    GRID_CHECKPOINT_VERSION,
+    cell_checkpoint_path,
+    load_cell_checkpoint,
+    load_completed_cells,
+    load_manifest,
+    manifest_path,
+    save_cell_checkpoint,
+    suite_token,
+    write_manifest,
+)
 from .grid import (
     EXECUTORS,
     GridCell,
@@ -44,13 +61,27 @@ from .grid import (
     run_scenario_grid,
     single_topology,
 )
+from .plotting import (
+    FigureSpec,
+    Series,
+    build_figures,
+    cdf_figure,
+    have_matplotlib,
+    render_figures,
+    render_svg,
+    robustness_figure,
+    scheme_colors,
+    speedup_figure,
+)
 
 __all__ = [
     "DEFAULT_CELL_BATCH",
     "ENV_CELL_BATCH",
     "EXECUTORS",
+    "GRID_CHECKPOINT_VERSION",
     "CellBatchPlan",
     "CellBucket",
+    "FigureSpec",
     "GridAnalytics",
     "GridCell",
     "GridResult",
@@ -58,18 +89,36 @@ __all__ = [
     "PrecisionComparison",
     "ScenarioSuite",
     "SchemeDistribution",
+    "Series",
     "SpeedupPoint",
     "analyze",
+    "build_figures",
+    "cdf_figure",
     "cell_bucket_key",
+    "cell_checkpoint_path",
     "cell_seed",
     "chunk_level_keys",
     "format_analytics",
+    "have_matplotlib",
+    "load_cell_checkpoint",
+    "load_completed_cells",
     "load_grid_results",
+    "load_manifest",
+    "manifest_path",
     "phase_breakdown",
     "plan_cell_batches",
     "precision_table",
+    "render_figures",
+    "render_svg",
+    "robustness_figure",
     "run_scenario_grid",
+    "satisfied_samples",
+    "save_cell_checkpoint",
+    "scheme_colors",
     "scheme_distributions",
     "single_topology",
     "speedup_curve",
+    "speedup_figure",
+    "suite_token",
+    "write_manifest",
 ]

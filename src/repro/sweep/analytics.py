@@ -33,6 +33,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..cache import atomic_write_json
 from ..exceptions import ReproError
 from .grid import GridResult
 
@@ -55,19 +56,9 @@ def load_grid_results(paths: list[str | os.PathLike]) -> list["GridResult"]:
     """
     if not paths:
         raise ReproError("no grid result files given")
-    results: list[GridResult] = []
-    for path in paths:
-        try:
-            results.append(GridResult.from_json(path))
-        except OSError as error:
-            raise ReproError(
-                f"cannot read grid result {os.fspath(path)!r}: {error}"
-            ) from error
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
-            raise ReproError(
-                f"malformed grid result {os.fspath(path)!r}: {error}"
-            ) from error
-    return results
+    # from_json wraps unreadable/truncated/key-mismatched files into a
+    # ReproError that names the file and the reason.
+    return [GridResult.from_json(path) for path in paths]
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +338,34 @@ def scheme_distributions(results: list[GridResult]) -> list[SchemeDistribution]:
     return out
 
 
+def satisfied_samples(
+    results: list[GridResult],
+    failure_count: int | None = None,
+) -> dict[str, list[float]]:
+    """Raw per-matrix satisfied-demand samples pooled per scheme.
+
+    The Figure 7 CDFs plot the *distribution* of satisfied demand
+    across test instances, which needs the raw samples rather than the
+    :class:`SchemeDistribution` percentiles. Pools every cell's
+    ``run.satisfied`` list across topologies, seeds, and results, in
+    deterministic cell order.
+
+    Args:
+        results: Loaded grid results.
+        failure_count: Restrict to one failure level (None pools all).
+
+    Returns:
+        Mapping scheme name -> samples, schemes sorted by name.
+    """
+    pooled: dict[str, list[float]] = {}
+    for result in results:
+        for cell in result.cells:
+            if failure_count is not None and cell.failure_count != failure_count:
+                continue
+            pooled.setdefault(cell.scheme, []).extend(cell.run.satisfied)
+    return {scheme: pooled[scheme] for scheme in sorted(pooled)}
+
+
 def phase_breakdown(results: list[GridResult]) -> list[PhaseBreakdown]:
     """Mean build/train/sweep seconds per (topology, size) across results."""
     groups: dict[tuple[str, int], list[dict]] = {}
@@ -487,10 +506,8 @@ class GridAnalytics:
         )
 
     def to_json(self, path: str | os.PathLike) -> None:
-        """Write the analytics as an indented JSON file."""
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
-            handle.write("\n")
+        """Write the analytics as an indented JSON file (atomically)."""
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def from_json(cls, path: str | os.PathLike) -> "GridAnalytics":

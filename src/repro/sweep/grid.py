@@ -28,9 +28,14 @@ import json
 import os
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import asdict, dataclass, field, fields, replace
 
+from ..cache import atomic_write_json
 from ..config import TE_INTERVAL_SECONDS, TrainingConfig
 from ..exceptions import ReproError
 from ..simulation.metrics import SchemeRun, format_comparison_table
@@ -298,16 +303,43 @@ class GridResult:
         )
 
     def to_json(self, path: str | os.PathLike) -> None:
-        """Write the result as an indented JSON file."""
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
-            handle.write("\n")
+        """Write the result as an indented JSON file.
+
+        The write is atomic (serialize in memory, temp file +
+        :func:`os.replace`): an interrupt mid-write leaves the previous
+        file — if any — intact instead of a truncated, unloadable one.
+        """
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def from_json(cls, path: str | os.PathLike) -> "GridResult":
-        """Load a result written by :meth:`to_json`."""
-        with open(path) as handle:
-            return cls.from_dict(json.load(handle))
+        """Load a result written by :meth:`to_json`.
+
+        Raises:
+            ReproError: With the file path and reason, on unreadable
+                files, truncated/invalid JSON, or documents missing the
+                grid-result keys — never a raw ``KeyError`` or
+                ``JSONDecodeError``.
+        """
+        name = os.fspath(path)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except OSError as error:
+            raise ReproError(
+                f"cannot read grid result {name!r}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"malformed grid result {name!r}: {error}"
+            ) from error
+        try:
+            return cls.from_dict(record)
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ReproError(
+                f"malformed grid result {name!r}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
 
     def summary_table(self) -> str:
         """Paper-style text table, one comparison block per grid slice."""
@@ -496,17 +528,31 @@ def run_scenario_grid(
     max_workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     cell_batch: int | None = None,
+    resume: bool = False,
+    max_cells: int | None = None,
 ) -> GridResult:
     """Run a scenario grid, optionally with concurrent topology workers.
 
     (topology, seed) jobs are independent — they share no mutable state
     beyond the harness caches, which the full-config cache keys keep
     collision-free — so they dispatch to a ``concurrent.futures`` pool.
-    Results are collected in submission order, so the returned cells are
+    Cells are assembled in submission order, so the returned cells are
     in deterministic grid order regardless of completion order, and
     every job's randomness is seeded from the spec (see the module
     docstring), so ``executor="process"``/``"thread"`` reproduce
     ``"serial"`` bit for bit.
+
+    With a ``cache_dir``, every completed job's cells are checkpointed
+    to disk *as jobs complete* (atomic ``gridcell-*.json`` entries plus
+    a ``gridmanifest-*.json`` — see :mod:`repro.sweep.checkpoint`), so
+    an interrupted grid keeps its finished work. ``resume=True`` then
+    loads the verified completed cells and only executes the remainder;
+    because checkpointed cells round-trip exactly and recomputed cells
+    are deterministic, the merged result is bit-identical to an
+    uninterrupted run for every executor and ``cell_batch`` setting.
+    Jobs whose cells are only partially checkpointed (an interrupt
+    mid-``max_cells`` boundary) recompute whole — recomputation yields
+    identical cells, so correctness never depends on partial reuse.
 
     Args:
         suite: The grid spec.
@@ -519,24 +565,36 @@ def run_scenario_grid(
             :func:`repro.harness.trained_teal`), so repeated grid cells
             and re-runs — including fresh processes — skip rebuilds and
             retraining. A cache hit reproduces the rebuilt scenario bit
-            for bit, so cached grids equal cold grids exactly.
+            for bit, so cached grids equal cold grids exactly. Also the
+            home of the per-cell grid checkpoints above.
         cell_batch: Explicit grid-cell fusion bound; overrides the
             suite's ``cell_batch`` field, which in turn overrides the
             ``REPRO_CELL_BATCH`` env (default 0 = fully fused). See
             :mod:`repro.sweep.cellbatch`. Every value reproduces the
             per-cell loop bit for bit; the knob only trades invocation
             count against peak stack size.
+        resume: Load verified completed cells from ``cache_dir`` and
+            execute only the remainder (requires ``cache_dir``).
+        max_cells: Stop after this many cells (the partial-run /
+            interrupt-simulation knob): jobs run until the quota is
+            met, the last job's surplus cells are dropped, and the
+            checkpoints cover exactly the returned cells.
 
     Returns:
         A :class:`GridResult`.
 
     Raises:
-        ReproError: On an unknown executor name.
+        ReproError: On an unknown executor name, ``resume`` without a
+            ``cache_dir``, or a non-positive ``max_cells``.
     """
     if executor not in EXECUTORS:
         raise ReproError(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}"
         )
+    if resume and cache_dir is None:
+        raise ReproError("resume=True requires a cache_dir to resume from")
+    if max_cells is not None and max_cells < 1:
+        raise ReproError(f"max_cells must be positive, got {max_cells}")
     cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
     # Precedence: explicit argument (the CLI flag) beats the suite
     # field, which beats the REPRO_CELL_BATCH env, which beats the
@@ -545,31 +603,101 @@ def run_scenario_grid(
     resolved_cell_batch = resolve_cell_batch(spec)
     plan = plan_cell_batches(suite, resolved_cell_batch)
     jobs = suite.jobs()
+    cells_per_job = len(suite.failure_counts) * len(suite.schemes)
+
+    checkpointing = cache_dir is not None
+    token = None
+    completed: dict = {}
+    if checkpointing:
+        # Deferred import: checkpoint.py imports this module's types.
+        from .checkpoint import load_completed_cells, suite_token
+
+        token = suite_token(suite)
+        if resume:
+            completed = load_completed_cells(cache_dir, suite, token)
+
     start = time.perf_counter()
-    if executor == "serial":
-        outputs = [
-            _run_topology_job(suite, t, s, cache_dir, resolved_cell_batch)
-            for t, s in jobs
+
+    # Per-job plan: the cell quota (max_cells truncation) and whether
+    # every quota cell is already checkpointed (job skips execution).
+    plans: list[tuple[str, int, int, list, bool]] = []
+    budget = max_cells
+    for topology, seed in jobs:
+        if budget is not None and budget <= 0:
+            break
+        take = cells_per_job if budget is None else min(cells_per_job, budget)
+        if budget is not None:
+            budget -= take
+        coords = [
+            (topology, seed, count, scheme)
+            for count in suite.failure_counts
+            for scheme in suite.schemes
         ]
+        loaded = bool(completed) and all(c in completed for c in coords[:take])
+        plans.append((topology, seed, take, coords, loaded))
+
+    outputs: list[tuple[list[GridCell], dict] | None] = [None] * len(plans)
+    manifest_coords: list[tuple] = []
+    loaded_cells = 0
+    for index, (topology, seed, take, coords, loaded) in enumerate(plans):
+        if loaded:
+            job_cells = [completed[c][0] for c in coords[:take]]
+            timing = dict(completed[coords[0]][1])
+            outputs[index] = (job_cells, timing)
+            manifest_coords.extend(coords[:take])
+            loaded_cells += take
+
+    def record_job(index: int, job_cells: list[GridCell], timing: dict) -> None:
+        # Called as each executed job completes (any completion order):
+        # truncate to the quota, checkpoint, and refresh the manifest so
+        # an interrupt right after this point loses nothing.
+        _, _, take, _, _ = plans[index]
+        kept = job_cells[:take]
+        outputs[index] = (kept, timing)
+        if checkpointing:
+            from .checkpoint import save_cell_checkpoint, write_manifest
+
+            for cell in kept:
+                save_cell_checkpoint(cache_dir, token, cell, timing)
+            manifest_coords.extend(cell.coords for cell in kept)
+            write_manifest(
+                cache_dir, suite, token, manifest_coords,
+                metadata={"executor": executor},
+            )
+
+    run_indices = [i for i, p in enumerate(plans) if not p[4]]
+    if executor == "serial" or not run_indices:
         workers = 1
+        for index in run_indices:
+            topology, seed = plans[index][0], plans[index][1]
+            job_cells, timing = _run_topology_job(
+                suite, topology, seed, cache_dir, resolved_cell_batch
+            )
+            record_job(index, job_cells, timing)
     else:
         pool_cls = (
             ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
         )
-        workers = max_workers or min(len(jobs), os.cpu_count() or 1)
+        workers = max_workers or min(len(run_indices), os.cpu_count() or 1)
         with pool_cls(max_workers=workers) as pool:
-            futures = [
+            futures = {
                 pool.submit(
-                    _run_topology_job, suite, t, s, cache_dir,
-                    resolved_cell_batch,
-                )
-                for t, s in jobs
-            ]
-            outputs = [future.result() for future in futures]
+                    _run_topology_job, suite, plans[i][0], plans[i][1],
+                    cache_dir, resolved_cell_batch,
+                ): i
+                for i in run_indices
+            }
+            # as_completed, not submission order: each job checkpoints
+            # the moment it finishes, so an interrupt while slower jobs
+            # are still running keeps every completed job's cells.
+            for future in as_completed(futures):
+                job_cells, timing = future.result()
+                record_job(futures[future], job_cells, timing)
     total_seconds = time.perf_counter() - start
 
-    cells = [cell for job_cells, _ in outputs for cell in job_cells]
-    timings = [timing for _, timing in outputs]
+    done = [output for output in outputs if output is not None]
+    cells = [cell for job_cells, _ in done for cell in job_cells]
+    timings = [timing for _, timing in done]
     metadata = {
         "executor": executor,
         "max_workers": workers,
@@ -580,6 +708,14 @@ def run_scenario_grid(
         "cell_batching": {
             "num_buckets": len(plan.buckets),
             "num_invocations": plan.num_invocations,
+        },
+        "resumed": resume,
+        "checkpointing": {
+            "enabled": checkpointing,
+            "suite_token": token,
+            "loaded_cells": loaded_cells,
+            "executed_jobs": len(run_indices),
+            "max_cells": max_cells,
         },
     }
     return GridResult(suite=suite, cells=cells, timings=timings, metadata=metadata)

@@ -9,9 +9,13 @@ import pytest
 
 from repro.cache import (
     CacheEntry,
+    atomic_write_json,
     cache_entries,
+    entry_schema_version,
+    expected_schema_version,
     parse_size,
     prune_cache_dir,
+    stale_entries,
     touch,
 )
 from repro.cli import main
@@ -107,6 +111,79 @@ class TestPruneCacheDir:
         assert prune_cache_dir(tmp_path / "absent", 0) == []
 
 
+def _grid_entry(cache_dir, name: str, version):
+    path = cache_dir / name
+    atomic_write_json(path, {"version": version, "cell": {}})
+    return path
+
+
+class TestSchemaVersions:
+    def test_expected_versions_per_prefix(self, tmp_path):
+        from repro.core.checkpoint import CHECKPOINT_FORMAT
+        from repro.harness import SCENARIO_CACHE_FORMAT
+        from repro.sweep.checkpoint import GRID_CHECKPOINT_VERSION
+
+        assert expected_schema_version("scenario-x.npz") == SCENARIO_CACHE_FORMAT
+        assert expected_schema_version("teal-x.npz") == CHECKPOINT_FORMAT
+        assert (
+            expected_schema_version("gridcell-x.json")
+            == GRID_CHECKPOINT_VERSION
+        )
+        assert (
+            expected_schema_version("gridmanifest-x.json")
+            == GRID_CHECKPOINT_VERSION
+        )
+
+    def test_json_entry_versions(self, tmp_path):
+        current = _grid_entry(tmp_path, "gridcell-a.json", 1)
+        unstamped = tmp_path / "gridcell-b.json"
+        atomic_write_json(unstamped, {"cell": {}})
+        corrupt = tmp_path / "gridcell-c.json"
+        corrupt.write_text("{broken")
+        nondict = tmp_path / "gridcell-d.json"
+        nondict.write_text("[1, 2]")
+        assert entry_schema_version(current) == 1
+        assert entry_schema_version(unstamped) == 0
+        assert entry_schema_version(corrupt) is None
+        assert entry_schema_version(nondict) is None
+
+    def test_npz_entry_versions(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.harness import SCENARIO_CACHE_FORMAT
+
+        scenario = tmp_path / "scenario-a.npz"
+        with open(scenario, "wb") as handle:
+            np.savez(
+                handle,
+                meta=json.dumps({"format": SCENARIO_CACHE_FORMAT}),
+            )
+        assert entry_schema_version(scenario) == SCENARIO_CACHE_FORMAT
+        teal_unstamped = tmp_path / "teal-a.npz"
+        with open(teal_unstamped, "wb") as handle:
+            np.savez(handle, weights=np.zeros(2))
+        assert entry_schema_version(teal_unstamped) == 0
+        teal_bad = tmp_path / "teal-b.npz"
+        teal_bad.write_bytes(b"not a zip")
+        assert entry_schema_version(teal_bad) is None
+
+    def test_stale_entries_finds_only_mismatches(self, tmp_path):
+        from repro.sweep.checkpoint import GRID_CHECKPOINT_VERSION
+
+        fresh = _grid_entry(
+            tmp_path, "gridcell-fresh.json", GRID_CHECKPOINT_VERSION
+        )
+        old = _grid_entry(tmp_path, "gridcell-old.json", 0)
+        corrupt = tmp_path / "gridmanifest-bad.json"
+        corrupt.write_text("{broken")
+        _make_entry(tmp_path, "unrelated.json", 5, 100.0)  # not ours
+        stale = {entry.path for entry in stale_entries(tmp_path)}
+        assert stale == {old, corrupt}
+        assert fresh not in stale
+
+
 class TestCliCachePrune:
     def test_prune_end_to_end(self, tmp_path, capsys):
         _make_entry(tmp_path, "teal-old.npz", 40, 100.0)
@@ -139,6 +216,66 @@ class TestCliCachePrune:
         )
         assert rc == 2
         assert "unparseable cache size" in capsys.readouterr().err
+
+    def test_no_action_flags_is_an_error(self, tmp_path, capsys):
+        rc = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_stale_entries_reported_without_eviction(self, tmp_path, capsys):
+        stale = _grid_entry(tmp_path, "gridcell-old.json", 0)
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-bytes", "1G"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stale schema version" in out
+        assert "--evict-stale" in out
+        assert stale.exists()
+
+    def test_evict_stale_removes_only_stale_entries(self, tmp_path, capsys):
+        from repro.sweep.checkpoint import GRID_CHECKPOINT_VERSION
+
+        stale = _grid_entry(tmp_path, "gridcell-old.json", 0)
+        fresh = _grid_entry(
+            tmp_path, "gridcell-new.json", GRID_CHECKPOINT_VERSION
+        )
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path), "--evict-stale"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gridcell-old.json" in out
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_evict_stale_dry_run_keeps_files(self, tmp_path, capsys):
+        stale = _grid_entry(tmp_path, "gridcell-old.json", 0)
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--evict-stale", "--dry-run"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "would remove" in out
+        assert stale.exists()
+
+    def test_evict_stale_composes_with_byte_budget(self, tmp_path):
+        from repro.sweep.checkpoint import GRID_CHECKPOINT_VERSION
+
+        stale = _grid_entry(tmp_path, "gridcell-old.json", 0)
+        lru = _grid_entry(tmp_path, "gridcell-a.json", GRID_CHECKPOINT_VERSION)
+        os.utime(lru, (100.0, 100.0))
+        keep = _grid_entry(tmp_path, "gridcell-b.json", GRID_CHECKPOINT_VERSION)
+        os.utime(keep, (200.0, 200.0))
+        rc = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--evict-stale", "--max-bytes", str(keep.stat().st_size)]
+        )
+        assert rc == 0
+        # Stale eviction and LRU pruning both applied in one pass.
+        assert not stale.exists() and not lru.exists() and keep.exists()
 
 
 class TestHarnessTouchesOnHit:

@@ -92,6 +92,58 @@ class TestCheckpoint:
         load_model(fresh, path)
         assert np.allclose(fresh.split_ratios(b4_demands), reference)
 
+    def test_stale_schema_version_rejected(self, b4_pathset, tmp_path):
+        """A checkpoint stamped with a foreign schema version must read
+        as stale (a miss), not deserialize an unknown layout."""
+        from repro.core.checkpoint import CHECKPOINT_FORMAT
+
+        model = TealModel(b4_pathset, seed=0)
+        path = save_model(model, tmp_path / "model")
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["meta_format"] = np.array(CHECKPOINT_FORMAT + 1)
+        np.savez(path, **payload)
+        with pytest.raises(ModelError, match="stale"):
+            load_model(TealModel(b4_pathset, seed=0), path)
+
+    def test_unstamped_checkpoint_is_stale(self, b4_pathset, tmp_path):
+        """Pre-versioning checkpoints (no ``meta_format`` key) report
+        version 0 and are rejected as stale rather than guessed at."""
+        model = TealModel(b4_pathset, seed=0)
+        path = save_model(model, tmp_path / "model")
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files if k != "meta_format"}
+        np.savez(path, **payload)
+        with pytest.raises(ModelError, match="schema version 0"):
+            load_model(TealModel(b4_pathset, seed=0), path)
+
+    def test_harness_retrains_past_a_stale_checkpoint(self, tmp_path):
+        """A stale on-disk model is a warning + retrain, never a crash
+        and never a silent load of the stale weights."""
+        from repro.config import TrainingConfig
+        from repro.core.checkpoint import CHECKPOINT_FORMAT
+        from repro.harness import build_scenario, clear_caches, trained_teal
+
+        config = TrainingConfig(steps=1, warm_start_steps=2, log_every=10)
+        kwargs = dict(max_pairs=20, train=2, validation=1, test=1,
+                      cache_dir=tmp_path)
+        scenario = build_scenario("B4", seed=0, **kwargs)
+        trained_teal(scenario, config=config, cache_dir=tmp_path)
+        [checkpoint] = list(tmp_path.glob("teal-*.npz"))
+        with np.load(checkpoint) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["meta_format"] = np.array(CHECKPOINT_FORMAT + 1)
+        np.savez(checkpoint, **payload)
+
+        clear_caches()  # force the disk tier
+        scenario = build_scenario("B4", seed=0, **kwargs)
+        with pytest.warns(RuntimeWarning, match="retraining"):
+            teal = trained_teal(scenario, config=config, cache_dir=tmp_path)
+        assert teal.trained
+        # The retrain re-saved a freshly stamped checkpoint.
+        with np.load(checkpoint) as data:
+            assert int(data["meta_format"]) == CHECKPOINT_FORMAT
+
     def test_transfer_weights_across_topologies(self, b4_pathset):
         """Teal's weights are topology-size agnostic (§3.2-§3.3, §4)."""
         other_topology = swan(num_nodes=15, seed=2, capacity=90.0)

@@ -1,0 +1,353 @@
+"""Tests for resumable checkpointed grid runs (``repro.sweep.checkpoint``).
+
+The contract under test: a grid interrupted at *any* cell boundary and
+resumed with ``resume=True`` produces a :class:`GridResult` bit-identical
+to an uninterrupted run — across precisions, executors, and every
+``cell_batch`` setting — and every persistence failure mode (truncated
+writes, stale schema versions, foreign suites) degrades to a recompute,
+never to wrong data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import atomic_write_json, atomic_write_text
+from repro.config import TrainingConfig
+from repro.exceptions import ReproError
+from repro.harness import clear_caches
+from repro.sweep import (
+    GRID_CHECKPOINT_VERSION,
+    GridResult,
+    ScenarioSuite,
+    cell_checkpoint_path,
+    load_cell_checkpoint,
+    load_completed_cells,
+    load_manifest,
+    manifest_path,
+    run_scenario_grid,
+    save_cell_checkpoint,
+    suite_token,
+    write_manifest,
+)
+
+#: Tiny training budget shared by every resume test.
+TINY = TrainingConfig(steps=2, warm_start_steps=6, log_every=10)
+
+
+def tiny_suite(**overrides) -> ScenarioSuite:
+    defaults = dict(
+        topologies=("B4",),
+        failure_counts=(0, 1),
+        seeds=(0, 1),  # 2 jobs x 4 cells = 8 cells
+        schemes=("LP-all", "Teal"),
+        train=4,
+        validation=1,
+        test=2,
+        training=TINY,
+    )
+    defaults.update(overrides)
+    return ScenarioSuite(**defaults)
+
+
+def comparable(result: GridResult) -> list[tuple]:
+    """Deterministic per-cell payload (wall-clock timings excluded)."""
+    return [
+        (cell.coords, cell.run.satisfied, cell.run.objective_values)
+        for cell in result.cells
+    ]
+
+
+class TestSuiteToken:
+    def test_deterministic(self):
+        assert suite_token(tiny_suite()) == suite_token(tiny_suite())
+
+    def test_any_spec_change_changes_the_token(self):
+        base = suite_token(tiny_suite())
+        assert suite_token(tiny_suite(failure_counts=(0, 1, 2))) != base
+        assert suite_token(tiny_suite(precision="float64")) != base
+        assert suite_token(tiny_suite(train=5)) != base
+
+
+@pytest.fixture(scope="module")
+def checkpointed(tmp_path_factory):
+    """One full checkpointed run: (suite, token, result, cache_dir)."""
+    suite = tiny_suite()
+    cache_dir = tmp_path_factory.mktemp("grid_cache")
+    clear_caches()
+    result = run_scenario_grid(suite, cache_dir=cache_dir)
+    return suite, suite_token(suite), result, cache_dir
+
+
+class TestCellCheckpointEntries:
+    def test_every_cell_has_a_verified_entry(self, checkpointed):
+        suite, token, result, cache_dir = checkpointed
+        for cell in result.cells:
+            path = cell_checkpoint_path(cache_dir, token, cell.coords)
+            assert path.exists()
+            loaded, timing = load_cell_checkpoint(path, token, cell.coords)
+            assert loaded.coords == cell.coords
+            assert loaded.run.satisfied == cell.run.satisfied
+            assert timing["train_seconds"] > 0.0
+
+    def test_save_then_load_roundtrip(self, checkpointed, tmp_path):
+        suite, token, result, _ = checkpointed
+        cell = result.cells[0]
+        path = save_cell_checkpoint(
+            tmp_path, token, cell, {"train_seconds": 1.0}
+        )
+        assert path == cell_checkpoint_path(tmp_path, token, cell.coords)
+        loaded, timing = load_cell_checkpoint(path, token, cell.coords)
+        assert loaded.to_dict() == cell.to_dict()
+        assert timing == {"train_seconds": 1.0}
+
+    def test_no_temp_residue(self, checkpointed):
+        _, _, _, cache_dir = checkpointed
+        assert not list(cache_dir.glob("*.tmp-*"))
+
+    def test_foreign_suite_token_is_rejected(self, checkpointed):
+        suite, token, result, cache_dir = checkpointed
+        coords = result.cells[0].coords
+        path = cell_checkpoint_path(cache_dir, token, coords)
+        with pytest.raises(ReproError, match="belongs to suite"):
+            load_cell_checkpoint(path, "0" * 16, coords)
+
+    def test_foreign_coords_are_rejected(self, checkpointed):
+        suite, token, result, cache_dir = checkpointed
+        coords = result.cells[0].coords
+        path = cell_checkpoint_path(cache_dir, token, coords)
+        other = (coords[0], coords[1], coords[2], "NCFlow")
+        with pytest.raises(ReproError, match="key mismatch"):
+            load_cell_checkpoint(path, token, other)
+
+    def test_stale_schema_version_is_rejected(self, checkpointed, tmp_path):
+        suite, token, result, cache_dir = checkpointed
+        coords = result.cells[0].coords
+        payload = json.loads(
+            cell_checkpoint_path(cache_dir, token, coords).read_text()
+        )
+        payload["version"] = GRID_CHECKPOINT_VERSION + 1
+        stale = tmp_path / "gridcell-stale.json"
+        atomic_write_json(stale, payload)
+        with pytest.raises(ReproError, match="stale grid checkpoint"):
+            load_cell_checkpoint(stale, token, coords)
+
+    def test_cell_seed_mismatch_is_rejected(self, checkpointed, tmp_path):
+        suite, token, result, cache_dir = checkpointed
+        coords = result.cells[0].coords
+        payload = json.loads(
+            cell_checkpoint_path(cache_dir, token, coords).read_text()
+        )
+        payload["cell_seed"] += 1
+        bad = tmp_path / "gridcell-seed.json"
+        atomic_write_json(bad, payload)
+        with pytest.raises(ReproError, match="cell-seed mismatch"):
+            load_cell_checkpoint(bad, token, coords)
+
+    def test_truncated_entry_is_a_clean_error(self, checkpointed, tmp_path):
+        suite, token, result, cache_dir = checkpointed
+        coords = result.cells[0].coords
+        text = cell_checkpoint_path(cache_dir, token, coords).read_text()
+        truncated = tmp_path / "gridcell-cut.json"
+        truncated.write_text(text[: len(text) // 2])
+        with pytest.raises(ReproError, match="malformed grid checkpoint"):
+            load_cell_checkpoint(truncated, token, coords)
+
+    def test_missing_file_is_a_clean_error(self, checkpointed, tmp_path):
+        suite, token, result, _ = checkpointed
+        with pytest.raises(ReproError, match="cannot read grid checkpoint"):
+            load_cell_checkpoint(
+                tmp_path / "absent.json", token, result.cells[0].coords
+            )
+
+
+class TestManifest:
+    def test_manifest_covers_the_grid(self, checkpointed):
+        suite, token, result, cache_dir = checkpointed
+        payload = load_manifest(manifest_path(cache_dir, token), token)
+        assert payload["suite"] == token
+        assert payload["num_cells"] == suite.num_cells
+        assert set(payload["completed"]) == {c.coords for c in result.cells}
+        assert ScenarioSuite.from_dict(payload["spec"]) == suite
+
+    def test_foreign_token_is_rejected(self, checkpointed):
+        _, token, _, cache_dir = checkpointed
+        with pytest.raises(ReproError, match="belongs to suite"):
+            load_manifest(manifest_path(cache_dir, token), "0" * 16)
+
+    def test_stale_version_is_rejected(self, checkpointed, tmp_path):
+        suite, token, _, cache_dir = checkpointed
+        payload = json.loads(manifest_path(cache_dir, token).read_text())
+        payload["version"] = GRID_CHECKPOINT_VERSION + 1
+        stale = tmp_path / "gridmanifest-stale.json"
+        atomic_write_json(stale, payload)
+        with pytest.raises(ReproError, match="stale grid manifest"):
+            load_manifest(stale, token)
+
+    def test_write_is_idempotent_per_completed_set(self, checkpointed, tmp_path):
+        suite, token, result, _ = checkpointed
+        completed = [c.coords for c in result.cells]
+        first = write_manifest(tmp_path, suite, token, completed)
+        text = first.read_text()
+        write_manifest(tmp_path, suite, token, completed)
+        assert first.read_text() == text
+
+
+class TestAtomicWrite:
+    def test_interrupted_write_preserves_the_old_file(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash inside the write window must never truncate the entry."""
+        import repro.cache as cache_mod
+
+        target = tmp_path / "entry.json"
+        atomic_write_json(target, {"version": 1, "ok": True})
+        before = target.read_text()
+
+        def explode(src, dst):
+            raise OSError("simulated crash mid-replace")
+
+        monkeypatch.setattr(cache_mod.os, "replace", explode)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_json(target, {"version": 1, "ok": False})
+        assert target.read_text() == before
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+    def test_text_round_trips(self, tmp_path):
+        path = atomic_write_text(tmp_path / "deep" / "file.txt", "payload")
+        assert path.read_text() == "payload"
+
+
+class TestLoadCompletedCells:
+    def test_full_cache_loads_every_cell(self, checkpointed):
+        suite, token, result, cache_dir = checkpointed
+        completed = load_completed_cells(cache_dir, suite, token)
+        assert set(completed) == {c.coords for c in result.cells}
+
+    def test_empty_dir_loads_nothing(self, checkpointed, tmp_path):
+        suite, _, _, _ = checkpointed
+        assert load_completed_cells(tmp_path, suite) == {}
+
+    def test_unusable_entries_warn_and_miss(self, checkpointed, tmp_path):
+        suite, token, result, cache_dir = checkpointed
+        # Clone the cache, then corrupt one entry in the clone.
+        for path in cache_dir.glob("grid*.json"):
+            (tmp_path / path.name).write_text(path.read_text())
+        victim = cell_checkpoint_path(tmp_path, token, result.cells[0].coords)
+        victim.write_text(victim.read_text()[:10])
+        with pytest.warns(RuntimeWarning, match="1 grid checkpoint entry is"):
+            completed = load_completed_cells(tmp_path, suite, token)
+        assert len(completed) == suite.num_cells - 1
+        assert result.cells[0].coords not in completed
+
+
+class TestResumeValidation:
+    def test_resume_requires_a_cache_dir(self):
+        with pytest.raises(ReproError, match="requires a cache_dir"):
+            run_scenario_grid(tiny_suite(), resume=True)
+
+    def test_max_cells_must_be_positive(self, tmp_path):
+        with pytest.raises(ReproError, match="max_cells must be positive"):
+            run_scenario_grid(tiny_suite(), cache_dir=tmp_path, max_cells=0)
+
+
+class TestResumeDeterminism:
+    """Interrupt at any cell boundary; resume must be bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def reference(self) -> GridResult:
+        clear_caches()
+        return run_scenario_grid(tiny_suite())
+
+    # 2 = mid-job interrupt (partial job recomputes whole), 4 = clean
+    # job boundary, 6 = one full job + a partial one.
+    @pytest.mark.parametrize("k", (2, 4, 6))
+    def test_interrupt_then_resume_is_bit_identical(
+        self, k, reference, tmp_path
+    ):
+        suite = tiny_suite()
+        partial = run_scenario_grid(suite, cache_dir=tmp_path, max_cells=k)
+        assert len(partial.cells) == k
+        assert comparable(partial) == comparable(reference)[:k]
+        resumed = run_scenario_grid(suite, cache_dir=tmp_path, resume=True)
+        assert comparable(resumed) == comparable(reference)
+        info = resumed.metadata["checkpointing"]
+        # Only fully-checkpointed jobs load; partial jobs recompute whole.
+        cells_per_job = len(suite.failure_counts) * len(suite.schemes)
+        assert info["loaded_cells"] == (k // cells_per_job) * cells_per_job
+        assert resumed.metadata["resumed"] is True
+
+    @pytest.mark.parametrize("cell_batch", (0, 1, 2))
+    def test_resume_matches_across_cell_batches(
+        self, cell_batch, reference, tmp_path
+    ):
+        suite = tiny_suite()
+        run_scenario_grid(
+            suite, cache_dir=tmp_path, max_cells=4, cell_batch=cell_batch
+        )
+        resumed = run_scenario_grid(
+            suite, cache_dir=tmp_path, resume=True, cell_batch=cell_batch
+        )
+        assert comparable(resumed) == comparable(reference)
+
+    def test_resume_matches_at_float64(self, tmp_path):
+        suite = tiny_suite(precision="float64")
+        clear_caches()
+        reference = run_scenario_grid(suite)
+        run_scenario_grid(suite, cache_dir=tmp_path, max_cells=4)
+        resumed = run_scenario_grid(suite, cache_dir=tmp_path, resume=True)
+        assert comparable(resumed) == comparable(reference)
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_pool_executors_resume_bit_identically(
+        self, executor, reference, tmp_path
+    ):
+        suite = tiny_suite()
+        run_scenario_grid(suite, cache_dir=tmp_path, max_cells=4)
+        resumed = run_scenario_grid(
+            suite,
+            executor=executor,
+            max_workers=2,
+            cache_dir=tmp_path,
+            resume=True,
+        )
+        assert comparable(resumed) == comparable(reference)
+        assert resumed.metadata["checkpointing"]["loaded_cells"] == 4
+
+    def test_fully_checkpointed_grid_resumes_without_execution(
+        self, reference, tmp_path
+    ):
+        suite = tiny_suite()
+        run_scenario_grid(suite, cache_dir=tmp_path)
+        resumed = run_scenario_grid(
+            suite, executor="process", cache_dir=tmp_path, resume=True
+        )
+        assert comparable(resumed) == comparable(reference)
+        info = resumed.metadata["checkpointing"]
+        assert info["loaded_cells"] == suite.num_cells
+        assert info["executed_jobs"] == 0
+
+    def test_stale_entry_recomputes_bit_identically(self, reference, tmp_path):
+        suite = tiny_suite()
+        token = suite_token(suite)
+        full = run_scenario_grid(suite, cache_dir=tmp_path)
+        victim = cell_checkpoint_path(tmp_path, token, full.cells[0].coords)
+        payload = json.loads(victim.read_text())
+        payload["version"] = GRID_CHECKPOINT_VERSION + 1
+        atomic_write_json(victim, payload)
+        with pytest.warns(RuntimeWarning, match="unusable"):
+            resumed = run_scenario_grid(
+                suite, cache_dir=tmp_path, resume=True
+            )
+        assert comparable(resumed) == comparable(reference)
+        # The stale job recomputed: only the untouched job loaded.
+        assert resumed.metadata["checkpointing"]["loaded_cells"] == 4
+
+    def test_spec_change_invalidates_the_checkpoints(self, tmp_path):
+        """A changed suite spec must never resurface foreign cells."""
+        run_scenario_grid(tiny_suite(seeds=(0,)), cache_dir=tmp_path)
+        changed = tiny_suite(seeds=(0,), precision="float64")
+        resumed = run_scenario_grid(changed, cache_dir=tmp_path, resume=True)
+        assert resumed.metadata["checkpointing"]["loaded_cells"] == 0
